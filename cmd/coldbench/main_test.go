@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastFlags keeps test invocations sub-second.
+var fastFlags = []string{"-trials", "2", "-n", "8", "-pop", "12", "-gens", "6", "-bootstrap", "50"}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(append(fastFlags, "table1"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== Table 1:") || !strings.Contains(s, "-- table1 done") {
+		t.Errorf("output malformed:\n%s", s)
+	}
+}
+
+func TestRunSharedSweepOnce(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(append(fastFlags, "fig5", "fig6", "fig7"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 5:", "Figure 6:", "Figure 7:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+	// Figures 6 and 7 reuse the sweep, so they must complete much faster
+	// than figure 5 — we can't assert timing robustly, but we can check
+	// all three printed.
+}
+
+func TestRunFig2AndBrute(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(append(fastFlags, "fig2", "brute", "fig8a"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 2:", "§5 validation", "Figure 8a:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no experiment should error")
+	}
+	if err := run([]string{"fig99"}, &out); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"-trials", "x"}, &out); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestRunRoutersAndExtras(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(append(fastFlags, "routers", "extras"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"router-count spread", "§6 extras", "-- routers done", "-- extras done"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

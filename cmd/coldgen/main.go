@@ -1,0 +1,136 @@
+// Command coldgen synthesizes PoP-level network topologies with COLD and
+// writes them as JSON, Graphviz DOT or TSV.
+//
+// Usage:
+//
+//	coldgen -n 30 -k2 4e-4 -k3 10 -seed 7 -format json -out net.json
+//	coldgen -n 30 -count 5 -format tsv          # ensemble to stdout
+//
+// The output contains everything a simulation needs: PoP coordinates,
+// populations, the traffic matrix, links with lengths and capacities, the
+// cost breakdown and topology statistics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	cold "github.com/networksynth/cold"
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/render"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "coldgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("coldgen", flag.ContinueOnError)
+	n := fs.Int("n", 30, "number of PoPs")
+	k0 := fs.Float64("k0", 10, "link existence cost")
+	k1 := fs.Float64("k1", 1, "cost per unit link length")
+	k2 := fs.Float64("k2", 1e-4, "cost per unit length per unit bandwidth")
+	k3 := fs.Float64("k3", 0, "complexity cost per hub PoP")
+	seed := fs.Int64("seed", 1, "random seed")
+	count := fs.Int("count", 1, "number of networks to generate")
+	format := fs.String("format", "json", "output format: json, dot, tsv, ascii")
+	out := fs.String("out", "", "output file (default stdout; with count > 1 a numbered suffix is added)")
+	locations := fs.String("locations", "uniform", "PoP location model: uniform, clustered, grid")
+	trafficModel := fs.String("traffic", "exponential", "population model: exponential, pareto, uniform")
+	paretoShape := fs.Float64("pareto-shape", 1.5, "Pareto tail exponent (traffic=pareto)")
+	pop := fs.Int("pop", 100, "GA population size M")
+	gens := fs.Int("gens", 100, "GA generations T")
+	heur := fs.Bool("heuristics", true, "seed the GA with greedy heuristic solutions (initialised GA)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := cold.Config{
+		NumPoPs: *n,
+		Params:  cold.Params{K0: *k0, K1: *k1, K2: *k2, K3: *k3},
+		Seed:    *seed,
+		Optimizer: cold.OptimizerSpec{
+			PopulationSize:     *pop,
+			Generations:        *gens,
+			SeedWithHeuristics: *heur,
+		},
+	}
+	switch *locations {
+	case "uniform":
+		cfg.Locations.Kind = cold.LocUniform
+	case "clustered":
+		cfg.Locations.Kind = cold.LocClustered
+	case "grid":
+		cfg.Locations.Kind = cold.LocGrid
+	default:
+		return fmt.Errorf("unknown location model %q", *locations)
+	}
+	switch *trafficModel {
+	case "exponential":
+		cfg.Traffic.Kind = cold.TrafficExponential
+	case "pareto":
+		cfg.Traffic.Kind = cold.TrafficPareto
+		cfg.Traffic.ParetoShape = *paretoShape
+	case "uniform":
+		cfg.Traffic.Kind = cold.TrafficUniform
+	default:
+		return fmt.Errorf("unknown traffic model %q", *trafficModel)
+	}
+
+	nets, err := cold.GenerateEnsemble(cfg, *count)
+	if err != nil {
+		return err
+	}
+	for i, nw := range nets {
+		w := stdout
+		if *out != "" {
+			name := *out
+			if *count > 1 {
+				name = fmt.Sprintf("%s.%d", *out, i)
+			}
+			f, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := write(nw, *format, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func write(nw *cold.Network, format string, w io.Writer) error {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(nw)
+	case "dot":
+		return nw.WriteDOT(w)
+	case "tsv":
+		return nw.WriteTSV(w)
+	case "ascii":
+		pts := make([]geom.Point, nw.N())
+		for i, p := range nw.Points {
+			pts[i] = geom.Point{X: p.X, Y: p.Y}
+		}
+		g := graph.New(nw.N())
+		for _, l := range nw.Links {
+			g.AddEdge(l.A, l.B)
+		}
+		_, err := io.WriteString(w, render.ASCII(pts, g, 72, 32))
+		return err
+	default:
+		return fmt.Errorf("unknown format %q (want json, dot, tsv or ascii)", format)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	cold "github.com/networksynth/cold"
+)
+
+func TestRunJSONToStdout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "8", "-pop", "16", "-gens", "10", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nw cold.Network
+	if err := json.Unmarshal(out.Bytes(), &nw); err != nil {
+		t.Fatalf("output is not a network JSON: %v", err)
+	}
+	if nw.N() != 8 {
+		t.Fatalf("n = %d", nw.N())
+	}
+}
+
+func TestRunTSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "6", "-pop", "16", "-gens", "8", "-format", "tsv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "a\tb\tlength\tcapacity") {
+		t.Errorf("TSV header missing: %q", out.String()[:40])
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "6", "-pop", "16", "-gens", "8", "-format", "dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "graph cold {") {
+		t.Errorf("DOT output malformed")
+	}
+}
+
+func TestRunToFilesWithCount(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "net.json")
+	var out bytes.Buffer
+	err := run([]string{"-n", "6", "-pop", "16", "-gens", "8", "-count", "2", "-out", base}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{base + ".0", base + ".1"} {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("missing ensemble file: %v", err)
+		}
+		var nw cold.Network
+		if err := json.Unmarshal(data, &nw); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	for _, loc := range []string{"uniform", "clustered", "grid"} {
+		var out bytes.Buffer
+		if err := run([]string{"-n", "6", "-pop", "16", "-gens", "8", "-locations", loc, "-format", "tsv"}, &out); err != nil {
+			t.Fatalf("locations %s: %v", loc, err)
+		}
+	}
+	for _, tm := range []string{"exponential", "pareto", "uniform"} {
+		var out bytes.Buffer
+		if err := run([]string{"-n", "6", "-pop", "16", "-gens", "8", "-traffic", tm, "-format", "tsv"}, &out); err != nil {
+			t.Fatalf("traffic %s: %v", tm, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-format", "xml"}, &out); err == nil {
+		t.Error("unknown format should error")
+	}
+	if err := run([]string{"-locations", "mars"}, &out); err == nil {
+		t.Error("unknown location model should error")
+	}
+	if err := run([]string{"-traffic", "flat"}, &out); err == nil {
+		t.Error("unknown traffic model should error")
+	}
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	args := []string{"-n", "6", "-pop", "16", "-gens", "8", "-seed", "9", "-format", "tsv"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same flags+seed should give identical output")
+	}
+}
+
+func TestRunASCII(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "6", "-pop", "16", "-gens", "8", "-format", "ascii"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "0") || !strings.Contains(s, ".") {
+		t.Errorf("ascii output missing nodes or edges:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 32 {
+		t.Errorf("ascii canvas height = %d, want 32", len(lines))
+	}
+}

@@ -1,0 +1,526 @@
+// Package cold synthesizes PoP-level data-network topologies using
+// Combined Optimization and Layered Design (COLD), reproducing Bowden,
+// Roughan and Bean, "COLD: PoP-level Network Topology Synthesis",
+// CoNEXT 2014.
+//
+// COLD balances randomness and design: the *context* — PoP locations drawn
+// from a 2D point process and a gravity-model traffic matrix — is random,
+// while the network built for each context is designed deterministically,
+// by heuristically minimizing a four-parameter cost
+//
+//	Σ_links (k0 + k1·length + k2·length·capacity) + k3·(#non-leaf PoPs)
+//
+// subject to carrying all traffic under shortest-path routing. The
+// parameters are costs, so they are operationally meaningful and tunable:
+// raising k2 (bandwidth cost) yields meshier networks, raising k3 (hub
+// complexity cost) yields hub-and-spoke networks, and so on.
+//
+// Basic use:
+//
+//	net, err := cold.Generate(cold.Config{NumPoPs: 30, Seed: 1})
+//	if err != nil { ... }
+//	fmt.Println(net.Stats())
+//
+// Every generated Network carries the details simulations need: PoP
+// coordinates, link lengths and capacities, shortest-path routing and the
+// traffic matrix it was designed for.
+package cold
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/networksynth/cold/internal/core"
+	"github.com/networksynth/cold/internal/cost"
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/heuristics"
+	"github.com/networksynth/cold/internal/metrics"
+	"github.com/networksynth/cold/internal/traffic"
+)
+
+// Params are the four cost coefficients of the COLD objective. Costs are
+// relative; the paper fixes K1 = 1 and tunes the rest.
+type Params struct {
+	K0 float64 // link existence cost
+	K1 float64 // cost per unit link length
+	K2 float64 // cost per unit length per unit bandwidth
+	K3 float64 // complexity cost per non-leaf ("core") PoP
+}
+
+// DefaultParams mirrors the paper's baseline: k0=10, k1=1, with a
+// mid-range bandwidth cost and no hub cost.
+func DefaultParams() Params { return Params{K0: 10, K1: 1, K2: 1e-4, K3: 0} }
+
+// LocationKind selects the PoP location model.
+type LocationKind int
+
+// Location models. Uniform on the unit square is the paper's default; the
+// alternatives exist because §7 evaluates context sensitivity.
+const (
+	LocUniform   LocationKind = iota // i.i.d. uniform on a rectangle
+	LocClustered                     // bursty Thomas cluster process
+	LocGrid                          // jittered lattice (debugging aid)
+	LocFixed                         // caller-provided coordinates
+)
+
+// Point is a PoP location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// LocationSpec configures PoP placement.
+type LocationSpec struct {
+	Kind LocationKind
+
+	// Aspect is the region's width/height ratio at unit area (LocUniform
+	// and LocClustered). Zero means 1 (the unit square).
+	Aspect float64
+
+	// Clusters and Sigma configure LocClustered: the number of cluster
+	// centers and the Gaussian spread of PoPs around them. Zeros mean 5
+	// clusters with sigma 0.05.
+	Clusters int
+	Sigma    float64
+
+	// Points are the coordinates for LocFixed (must supply >= NumPoPs).
+	Points []Point
+}
+
+// TrafficKind selects the population model feeding the gravity traffic
+// matrix.
+type TrafficKind int
+
+// Traffic population models. Exponential (mean 30) is the paper's default;
+// Pareto provides the heavy-tailed alternative of §7.
+const (
+	TrafficExponential TrafficKind = iota
+	TrafficPareto
+	TrafficUniform // every PoP has the same population (tests/debugging)
+	TrafficFixed   // caller-provided populations (e.g. real city data)
+)
+
+// TrafficSpec configures the traffic matrix.
+type TrafficSpec struct {
+	Kind TrafficKind
+
+	// MeanPopulation is the mean PoP population. Zero means 30.
+	MeanPopulation float64
+
+	// ParetoShape is the Pareto tail exponent (TrafficPareto only; must
+	// exceed 1). Zero means 1.5.
+	ParetoShape float64
+
+	// Scale multiplies every gravity demand. Zero means the calibrated
+	// default (traffic.DefaultGravityScale = 10), which places the
+	// tree→mesh transition in the paper's k2 range.
+	Scale float64
+
+	// Populations are the per-PoP populations for TrafficFixed (must
+	// supply >= NumPoPs positive values).
+	Populations []float64
+}
+
+// OptimizerSpec configures the genetic algorithm.
+type OptimizerSpec struct {
+	// PopulationSize (M) and Generations (T). Zeros mean the paper's 100
+	// and 100.
+	PopulationSize int
+	Generations    int
+
+	// SeedWithHeuristics runs the greedy heuristics first and seeds the
+	// GA's initial population with their outputs (the paper's
+	// "initialised GA", recommended: it guarantees the result is at least
+	// as good as every heuristic).
+	SeedWithHeuristics bool
+
+	// TrackHistory records the best cost after each generation in
+	// Network.History.
+	TrackHistory bool
+}
+
+// Config describes one synthesis run.
+type Config struct {
+	// NumPoPs is the number of PoPs (n). Required, >= 1.
+	NumPoPs int
+
+	// Params are the cost coefficients. The zero value means
+	// DefaultParams.
+	Params Params
+
+	// Seed drives all randomness; equal (Config, Seed) pairs generate
+	// identical networks.
+	Seed int64
+
+	Locations LocationSpec
+	Traffic   TrafficSpec
+	Optimizer OptimizerSpec
+}
+
+// Link is one PoP-level link of a generated network, with everything a
+// simulator needs.
+type Link struct {
+	A, B     int     // endpoint PoP indices, A < B
+	Length   float64 // physical length (Euclidean)
+	Capacity float64 // bandwidth required under shortest-path routing
+}
+
+// Stats are the headline topology statistics of a network (the quantities
+// tracked in §6–§7 of the paper).
+type Stats struct {
+	NumPoPs       int
+	NumLinks      int
+	AverageDegree float64
+	DegreeCV      float64 // coefficient of variation of node degree (CVND)
+	Diameter      int     // hops
+	Clustering    float64 // global clustering coefficient
+	Hubs          int     // PoPs with degree > 1
+	Leaves        int     // PoPs with degree 1
+	AvgPathLen    float64 // mean hops over all pairs
+}
+
+// CostBreakdown decomposes the network's objective value.
+type CostBreakdown struct {
+	Total     float64
+	Existence float64 // Σ k0
+	Length    float64 // Σ k1·ℓ
+	Bandwidth float64 // Σ k2·ℓ·w
+	Node      float64 // k3·hubs
+}
+
+// Network is one synthesized PoP-level network.
+type Network struct {
+	// Points are the PoP locations.
+	Points []Point
+	// Populations are the gravity-model PoP populations.
+	Populations []float64
+	// Demand is the symmetric traffic matrix the network was designed to
+	// carry.
+	Demand [][]float64
+	// Links are the designed links with lengths and capacities.
+	Links []Link
+	// Cost is the objective value breakdown.
+	Cost CostBreakdown
+	// History holds the best cost per GA generation when
+	// OptimizerSpec.TrackHistory was set.
+	History []float64
+
+	routing *cost.Routing
+	adj     [][]bool
+	stats   metrics.Summary
+}
+
+// N returns the number of PoPs.
+func (nw *Network) N() int { return len(nw.Points) }
+
+// HasLink reports whether PoPs i and j are directly linked.
+func (nw *Network) HasLink(i, j int) bool { return nw.adj[i][j] }
+
+// Path returns the PoP sequence of the shortest (by physical length) route
+// from s to d, inclusive; nil if s == d is false and no route exists
+// (never for generated networks, which are connected by construction).
+func (nw *Network) Path(s, d int) []int { return nw.routing.Path(s, d) }
+
+// Stats returns the network's topology statistics.
+func (nw *Network) Stats() Stats {
+	return Stats{
+		NumPoPs:       nw.stats.N,
+		NumLinks:      nw.stats.Edges,
+		AverageDegree: nw.stats.AverageDegree,
+		DegreeCV:      nw.stats.DegreeCV,
+		Diameter:      nw.stats.Diameter,
+		Clustering:    nw.stats.Clustering,
+		Hubs:          nw.stats.Hubs,
+		Leaves:        nw.stats.Leaves,
+		AvgPathLen:    nw.stats.AvgPathLen,
+	}
+}
+
+// Generate synthesizes one network for a fresh random context.
+func Generate(cfg Config) (*Network, error) {
+	ctx, err := buildContext(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return optimize(cfg, ctx)
+}
+
+// GenerateEnsemble synthesizes count networks with independent contexts
+// derived from cfg.Seed. The networks are "similar but varied" in the
+// paper's sense: same design parameters, different contexts.
+func GenerateEnsemble(cfg Config, count int) ([]*Network, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("cold: negative ensemble size %d", count)
+	}
+	nets := make([]*Network, count)
+	for i := range nets {
+		c := cfg
+		// Spread seeds deterministically; the golden-ratio increment
+		// avoids accidental correlation between consecutive streams.
+		c.Seed = cfg.Seed + int64(i)*0x5851F42D4C957F2D
+		nw, err := Generate(c)
+		if err != nil {
+			return nil, fmt.Errorf("cold: ensemble member %d: %w", i, err)
+		}
+		nets[i] = nw
+	}
+	return nets, nil
+}
+
+// GenerateVariants synthesizes up to count *distinct* topologies for a
+// single context: one GA run's final population, deduplicated and taken in
+// ascending cost order, each fully evaluated. This exposes the GA property
+// the paper highlights (§3.3): one run yields a whole population of good
+// designs, "potentially providing additional support for simulation where
+// one wants a fixed context, but multiple topologies." The first variant
+// equals Generate's result. Fewer than count networks are returned when
+// the final population holds fewer distinct topologies.
+func GenerateVariants(cfg Config, count int) ([]*Network, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("cold: variant count %d must be >= 1", count)
+	}
+	ctx, err := buildContext(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runOptimizer(cfg, ctx)
+	if err != nil {
+		return nil, err
+	}
+	var nets []*Network
+	for _, g := range res.Population {
+		if len(nets) == count {
+			break
+		}
+		dup := false
+		for _, prev := range nets {
+			if sameLinks(prev, g.Edges()) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		nw, err := materialize(cfg, ctx, g, res.History)
+		if err != nil {
+			return nil, err
+		}
+		nets = append(nets, nw)
+	}
+	return nets, nil
+}
+
+func sameLinks(nw *Network, edges []graph.Edge) bool {
+	if len(nw.Links) != len(edges) {
+		return false
+	}
+	for i, e := range edges {
+		if nw.Links[i].A != e.I || nw.Links[i].B != e.J {
+			return false
+		}
+	}
+	return true
+}
+
+// context bundles the sampled inputs of one run.
+type context struct {
+	points []geom.Point
+	pops   []float64
+	tm     *traffic.Matrix
+	eval   *cost.Evaluator
+}
+
+func buildContext(cfg Config) (*context, error) {
+	n := cfg.NumPoPs
+	if n < 1 {
+		return nil, fmt.Errorf("cold: NumPoPs %d must be >= 1", n)
+	}
+	params := cfg.Params
+	if params == (Params{}) {
+		params = DefaultParams()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pts, err := samplePoints(cfg.Locations, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	pops, err := samplePopulations(cfg.Traffic, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	scale := cfg.Traffic.Scale
+	if scale == 0 {
+		scale = traffic.DefaultGravityScale
+	}
+	tm := traffic.Gravity(pops, scale)
+	eval, err := cost.NewEvaluator(geom.DistanceMatrix(pts), tm, cost.Params{
+		K0: params.K0, K1: params.K1, K2: params.K2, K3: params.K3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &context{points: pts, pops: pops, tm: tm, eval: eval}, nil
+}
+
+func samplePoints(spec LocationSpec, n int, rng *rand.Rand) ([]geom.Point, error) {
+	aspect := spec.Aspect
+	if aspect == 0 {
+		aspect = 1
+	}
+	region, err := geom.NewRect(aspect)
+	if err != nil {
+		return nil, fmt.Errorf("cold: %w", err)
+	}
+	switch spec.Kind {
+	case LocUniform:
+		return geom.Uniform{Region: region}.Sample(n, rng), nil
+	case LocClustered:
+		clusters := spec.Clusters
+		if clusters == 0 {
+			clusters = 5
+		}
+		sigma := spec.Sigma
+		if sigma == 0 {
+			sigma = 0.05
+		}
+		return geom.ThomasCluster{Region: region, Clusters: clusters, Sigma: sigma}.Sample(n, rng), nil
+	case LocGrid:
+		return geom.Grid{Region: region, Jitter: 0.3}.Sample(n, rng), nil
+	case LocFixed:
+		if len(spec.Points) < n {
+			return nil, fmt.Errorf("cold: LocFixed has %d points, need %d", len(spec.Points), n)
+		}
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: spec.Points[i].X, Y: spec.Points[i].Y}
+		}
+		return pts, nil
+	default:
+		return nil, fmt.Errorf("cold: unknown location kind %d", spec.Kind)
+	}
+}
+
+func samplePopulations(spec TrafficSpec, n int, rng *rand.Rand) ([]float64, error) {
+	mean := spec.MeanPopulation
+	if mean == 0 {
+		mean = traffic.DefaultMeanPopulation
+	}
+	if mean < 0 {
+		return nil, fmt.Errorf("cold: negative mean population %v", mean)
+	}
+	switch spec.Kind {
+	case TrafficExponential:
+		return traffic.Exponential{Mean: mean}.Sample(n, rng), nil
+	case TrafficPareto:
+		shape := spec.ParetoShape
+		if shape == 0 {
+			shape = 1.5
+		}
+		if shape <= 1 {
+			return nil, fmt.Errorf("cold: Pareto shape %v must exceed 1", shape)
+		}
+		return traffic.Pareto{Shape: shape, Mean: mean}.Sample(n, rng), nil
+	case TrafficUniform:
+		return traffic.Uniform{Value: mean}.Sample(n, rng), nil
+	case TrafficFixed:
+		if len(spec.Populations) < n {
+			return nil, fmt.Errorf("cold: TrafficFixed has %d populations, need %d", len(spec.Populations), n)
+		}
+		pops := make([]float64, n)
+		for i, p := range spec.Populations[:n] {
+			if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				return nil, fmt.Errorf("cold: TrafficFixed population %d = %v must be positive and finite", i, p)
+			}
+			pops[i] = p
+		}
+		return pops, nil
+	default:
+		return nil, fmt.Errorf("cold: unknown traffic kind %d", spec.Kind)
+	}
+}
+
+func optimize(cfg Config, ctx *context) (*Network, error) {
+	res, err := runOptimizer(cfg, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(cfg, ctx, res.Best, res.History)
+}
+
+// runOptimizer executes the GA for a built context.
+func runOptimizer(cfg Config, ctx *context) (*core.Result, error) {
+	settings := core.DefaultSettings()
+	if cfg.Optimizer.PopulationSize != 0 {
+		settings.PopulationSize = cfg.Optimizer.PopulationSize
+	}
+	if cfg.Optimizer.Generations != 0 {
+		settings.Generations = cfg.Optimizer.Generations
+	}
+	// Keep the elite/mutation split proportional for non-default sizes.
+	settings.NumSaved = maxInt(1, settings.PopulationSize/10)
+	settings.NumMutation = settings.PopulationSize * 3 / 10
+	settings.TrackHistory = cfg.Optimizer.TrackHistory
+
+	// Separate rng stream for the optimizer so context and search
+	// randomness do not interleave.
+	optRNG := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	if cfg.Optimizer.SeedWithHeuristics {
+		hs := heuristics.All(ctx.eval, optRNG)
+		settings.Seeds = heuristics.Graphs(hs)
+	}
+	res, err := core.Run(ctx.eval, settings, optRNG)
+	if err != nil {
+		return nil, fmt.Errorf("cold: optimizer: %w", err)
+	}
+	return res, nil
+}
+
+// materialize turns one optimized topology into a fully evaluated Network.
+func materialize(cfg Config, ctx *context, g *graph.Graph, history []float64) (*Network, error) {
+	ev := ctx.eval.Evaluate(g)
+	if !ev.Connected {
+		return nil, fmt.Errorf("cold: internal error: optimizer returned a disconnected network")
+	}
+	n := ctx.eval.N()
+	nw := &Network{
+		Points:      make([]Point, n),
+		Populations: append([]float64(nil), ctx.pops...),
+		Demand:      ctx.tm.Demand,
+		History:     history,
+		routing:     ev.Routing,
+		stats:       metrics.Summarize(g),
+	}
+	for i, p := range ctx.points {
+		nw.Points[i] = Point{X: p.X, Y: p.Y}
+	}
+	nw.Links = make([]Link, len(ev.Edges))
+	for i, e := range ev.Edges {
+		nw.Links[i] = Link{A: e.I, B: e.J, Length: ev.Lengths[i], Capacity: ev.Capacities[i]}
+	}
+	nw.Cost = CostBreakdown{
+		Total:     ev.Total,
+		Existence: ev.ExistenceCost,
+		Length:    ev.LengthCost,
+		Bandwidth: ev.BandwidthCost,
+		Node:      ev.NodeCost,
+	}
+	nw.adj = make([][]bool, n)
+	for i := range nw.adj {
+		nw.adj[i] = make([]bool, n)
+	}
+	for _, l := range nw.Links {
+		nw.adj[l.A][l.B] = true
+		nw.adj[l.B][l.A] = true
+	}
+	return nw, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

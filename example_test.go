@@ -1,0 +1,61 @@
+package cold_test
+
+import (
+	"fmt"
+	"log"
+
+	cold "github.com/networksynth/cold"
+)
+
+// Synthesize one network and inspect its headline statistics.
+func ExampleGenerate() {
+	net, err := cold.Generate(cold.Config{
+		NumPoPs: 12,
+		Params:  cold.Params{K0: 10, K1: 1, K2: 4e-4, K3: 10},
+		Seed:    1,
+		Optimizer: cold.OptimizerSpec{
+			PopulationSize: 30,
+			Generations:    25,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := net.Stats()
+	fmt.Println(st.NumPoPs, st.NumLinks >= st.NumPoPs-1, st.Diameter >= 1)
+	// Output: 12 true true
+}
+
+// Generate an ensemble of networks that are "similar but varied": same
+// design parameters, independent contexts.
+func ExampleGenerateEnsemble() {
+	nets, err := cold.GenerateEnsemble(cold.Config{
+		NumPoPs:   10,
+		Seed:      7,
+		Optimizer: cold.OptimizerSpec{PopulationSize: 20, Generations: 15},
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	distinct := nets[0].Cost.Total != nets[1].Cost.Total &&
+		nets[1].Cost.Total != nets[2].Cost.Total
+	fmt.Println(len(nets), distinct)
+	// Output: 3 true
+}
+
+// Generate several distinct topologies for one fixed context — the GA's
+// final population (§3.3 of the paper).
+func ExampleGenerateVariants() {
+	nets, err := cold.GenerateVariants(cold.Config{
+		NumPoPs:   10,
+		Seed:      3,
+		Optimizer: cold.OptimizerSpec{PopulationSize: 30, Generations: 20},
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sameContext := nets[0].Points[0] == nets[len(nets)-1].Points[0]
+	ordered := nets[0].Cost.Total <= nets[len(nets)-1].Cost.Total
+	fmt.Println(len(nets) >= 1, sameContext, ordered)
+	// Output: true true true
+}

@@ -1,0 +1,100 @@
+// Ensemble: the paper's headline use case — generate many "similar but
+// varied" networks for a simulation study, and quantify the variability
+// with confidence intervals (COLD requirement 1: statistical variation).
+//
+// A protocol evaluated on a single topology can overfit that topology;
+// evaluating across a COLD ensemble and reporting confidence intervals is
+// the remedy [Ringberg et al., ref 8 in the paper].
+//
+//	go run ./examples/ensemble
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	cold "github.com/networksynth/cold"
+)
+
+func main() {
+	const members = 20
+	cfg := cold.Config{
+		NumPoPs: 25,
+		Params:  cold.Params{K0: 10, K1: 1, K2: 2e-4, K3: 10},
+		Seed:    7,
+		Optimizer: cold.OptimizerSpec{
+			PopulationSize:     60,
+			Generations:        60,
+			SeedWithHeuristics: true,
+		},
+	}
+	nets, err := cold.GenerateEnsemble(cfg, members)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var degree, diameter, hubs, maxUtil []float64
+	for _, nw := range nets {
+		st := nw.Stats()
+		degree = append(degree, st.AverageDegree)
+		diameter = append(diameter, float64(st.Diameter))
+		hubs = append(hubs, float64(st.Hubs))
+
+		// A toy "protocol metric": the most loaded link's share of total
+		// traffic — the kind of quantity a traffic-engineering study
+		// would measure per topology.
+		var total, max float64
+		for _, l := range nw.Links {
+			if l.Capacity > max {
+				max = l.Capacity
+			}
+		}
+		for i := range nw.Demand {
+			for j := i + 1; j < len(nw.Demand); j++ {
+				total += nw.Demand[i][j]
+			}
+		}
+		maxUtil = append(maxUtil, max/total)
+	}
+
+	fmt.Printf("Ensemble of %d networks, %d PoPs each, identical design parameters:\n\n", members, cfg.NumPoPs)
+	report("average degree     ", degree)
+	report("diameter (hops)    ", diameter)
+	report("hub PoPs           ", hubs)
+	report("max-link load share", maxUtil)
+
+	fmt.Println("\nEvery member is a distinct network (different PoP locations and")
+	fmt.Println("traffic), yet all share the same designed character — exactly the")
+	fmt.Println("controlled variability a simulation campaign needs.")
+}
+
+// report prints mean and a 95% bootstrap CI.
+func report(name string, xs []float64) {
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	lo, hi := bootstrapCI(xs, 0.95, 2000)
+	fmt.Printf("  %s  mean %.3f   95%% CI [%.3f, %.3f]\n", name, mean, lo, hi)
+}
+
+func bootstrapCI(xs []float64, conf float64, b int) (lo, hi float64) {
+	rng := rand.New(rand.NewSource(1))
+	means := make([]float64, b)
+	for i := range means {
+		var s float64
+		for k := 0; k < len(xs); k++ {
+			s += xs[rng.Intn(len(xs))]
+		}
+		means[i] = s / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	lo = means[int(math.Floor(alpha*float64(b)))]
+	hi = means[int(math.Ceil((1-alpha)*float64(b)))-1]
+	return lo, hi
+}

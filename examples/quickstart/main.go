@@ -1,0 +1,50 @@
+// Quickstart: synthesize one PoP-level network with COLD and inspect it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cold "github.com/networksynth/cold"
+)
+
+func main() {
+	// A 30-PoP ISP with the paper's baseline costs: k0=10 per link, k1=1
+	// per unit length, a mid-range bandwidth cost and a modest hub cost.
+	cfg := cold.Config{
+		NumPoPs: 30,
+		Params:  cold.Params{K0: 10, K1: 1, K2: 8e-4, K3: 10},
+		Seed:    42,
+		Optimizer: cold.OptimizerSpec{
+			SeedWithHeuristics: true, // the paper's "initialised GA"
+		},
+	}
+	net, err := cold.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := net.Stats()
+	fmt.Printf("Synthesized a %d-PoP network with %d links\n", st.NumPoPs, st.NumLinks)
+	fmt.Printf("  average degree %.2f, diameter %d hops, clustering %.3f\n",
+		st.AverageDegree, st.Diameter, st.Clustering)
+	fmt.Printf("  %d hub PoPs, %d leaf PoPs (degree CV %.2f)\n", st.Hubs, st.Leaves, st.DegreeCV)
+	fmt.Printf("  total cost %.1f (links %.1f + length %.1f + bandwidth %.1f + hubs %.1f)\n\n",
+		net.Cost.Total, net.Cost.Existence, net.Cost.Length, net.Cost.Bandwidth, net.Cost.Node)
+
+	fmt.Println("First links (with the capacities a simulation would provision):")
+	for i, l := range net.Links {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(net.Links)-5)
+			break
+		}
+		fmt.Printf("  PoP %2d -- PoP %2d   length %.3f   capacity %.0f\n", l.A, l.B, l.Length, l.Capacity)
+	}
+
+	// Routing comes with the network: the shortest path between the two
+	// most distant PoPs.
+	s, d := 0, net.N()-1
+	fmt.Printf("\nRoute from PoP %d to PoP %d: %v\n", s, d, net.Path(s, d))
+}

@@ -1,0 +1,75 @@
+// Resilience: use a synthesized network the way a simulation study would —
+// stress it. Single-link failure analysis over COLD topologies designed
+// under different cost regimes shows the designed trade-off: cheap
+// tree-like networks partition under any failure, meshy ones reroute at
+// the cost of transient overload.
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/networksynth/cold/internal/core"
+	"github.com/networksynth/cold/internal/cost"
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/simulate"
+	"github.com/networksynth/cold/internal/traffic"
+)
+
+func main() {
+	// One fixed context, three designs of increasing bandwidth emphasis.
+	rng := rand.New(rand.NewSource(17))
+	n := 20
+	pts := geom.NewUniform().Sample(n, rng)
+	pops := traffic.NewExponential().Sample(n, rng)
+	tm := traffic.Gravity(pops, traffic.DefaultGravityScale)
+	var totalDemand float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			totalDemand += tm.Demand[i][j]
+		}
+	}
+
+	regimes := []struct {
+		name string
+		p    cost.Params
+	}{
+		{"cost-lean (tree-ish)", cost.Params{K0: 10, K1: 1, K2: 2.5e-5, K3: 0}},
+		{"balanced", cost.Params{K0: 10, K1: 1, K2: 8e-4, K3: 0}},
+		{"performance (meshy)", cost.Params{K0: 10, K1: 1, K2: 8e-3, K3: 0}},
+	}
+
+	fmt.Printf("Single-link failure analysis, one %d-PoP context, three designs:\n\n", n)
+	for _, r := range regimes {
+		e, err := cost.NewEvaluator(geom.DistanceMatrix(pts), tm, r.p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := core.DefaultSettings()
+		s.PopulationSize, s.Generations = 60, 60
+		s.NumSaved, s.NumMutation = 6, 18
+		res, err := core.Run(e, s, rand.New(rand.NewSource(3)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports, err := simulate.SingleLinkFailures(e, res.Best)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := simulate.Summarize(reports, totalDemand)
+		lat, err := simulate.Latency(e, res.Best)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %2d links | survives %3.0f%% of failures | worst overload %.2fx | reroutes %4.1f%% | mean route %.3f\n",
+			r.name, sum.Links, sum.SurvivableShare*100, sum.WorstOverload,
+			sum.MeanRerouteShare*100, lat.MeanRouteLength)
+	}
+
+	fmt.Println("\nThe same generator, tuned by costs alone, spans the resilience")
+	fmt.Println("spectrum — which is what lets experimenters test how a protocol's")
+	fmt.Println("behaviour depends on the topology's character (§6 of the paper).")
+}

@@ -1,0 +1,3 @@
+module github.com/networksynth/cold
+
+go 1.22

@@ -1,0 +1,212 @@
+// Package abc implements Approximate Bayesian Computation for COLD's cost
+// parameters — the estimation technique §8 of the paper proposes for
+// mapping real networks to parameter values k_i.
+//
+// Rejection ABC: draw (k2, k3) from a log-uniform prior, synthesize a
+// small ensemble of networks per draw, compute summary statistics (average
+// degree, CVND, clustering, diameter), and keep the draws whose statistics
+// land closest to the target's. The retained draws approximate the
+// posterior over parameters given the observed network.
+package abc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/networksynth/cold/internal/core"
+	"github.com/networksynth/cold/internal/cost"
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/metrics"
+	"github.com/networksynth/cold/internal/traffic"
+)
+
+// Target is the observed network's summary statistics. Any field set to
+// NaN is excluded from the distance.
+type Target struct {
+	AverageDegree float64
+	DegreeCV      float64
+	Clustering    float64
+	Diameter      float64
+}
+
+// TargetOf extracts a Target from an observed graph.
+func TargetOf(g *graph.Graph) Target {
+	return Target{
+		AverageDegree: metrics.AverageDegree(g),
+		DegreeCV:      metrics.DegreeCV(g),
+		Clustering:    metrics.GlobalClustering(g),
+		Diameter:      float64(metrics.Diameter(g)),
+	}
+}
+
+// Prior is a log-uniform prior over (k2, k3). k0 and k1 stay at the
+// paper's 10 and 1 (costs are relative; these two behave alike, §6).
+type Prior struct {
+	K2Lo, K2Hi float64
+	K3Lo, K3Hi float64 // K3Lo may be 0-adjacent but must be > 0 (log prior)
+}
+
+// DefaultPrior spans the paper's experimental ranges.
+func DefaultPrior() Prior {
+	return Prior{K2Lo: 1e-5, K2Hi: 2e-3, K3Lo: 0.1, K3Hi: 1000}
+}
+
+// Validate rejects malformed priors.
+func (p Prior) Validate() error {
+	if !(p.K2Lo > 0 && p.K2Hi > p.K2Lo) {
+		return fmt.Errorf("abc: k2 prior [%v, %v] invalid", p.K2Lo, p.K2Hi)
+	}
+	if !(p.K3Lo > 0 && p.K3Hi > p.K3Lo) {
+		return fmt.Errorf("abc: k3 prior [%v, %v] invalid", p.K3Lo, p.K3Hi)
+	}
+	return nil
+}
+
+// Options control the inference run.
+type Options struct {
+	Samples         int // prior draws (default 64)
+	Keep            int // accepted draws (default Samples/8, min 1)
+	N               int // PoPs per synthetic network (default: target size, else 20)
+	TrialsPerSample int // networks averaged per draw (default 3)
+	GAPop, GAGens   int // GA scale per network (default 40, 40)
+	Seed            int64
+}
+
+func (o Options) normalize() Options {
+	if o.Samples <= 0 {
+		o.Samples = 64
+	}
+	if o.Keep <= 0 {
+		o.Keep = o.Samples / 8
+	}
+	if o.Keep < 1 {
+		o.Keep = 1
+	}
+	if o.Keep > o.Samples {
+		o.Keep = o.Samples
+	}
+	if o.N <= 0 {
+		o.N = 20
+	}
+	if o.TrialsPerSample <= 0 {
+		o.TrialsPerSample = 3
+	}
+	if o.GAPop <= 0 {
+		o.GAPop = 40
+	}
+	if o.GAGens <= 0 {
+		o.GAGens = 40
+	}
+	return o
+}
+
+// Sample is one accepted posterior draw.
+type Sample struct {
+	K2, K3   float64
+	Distance float64
+	Stats    Target // mean synthetic statistics at this draw
+}
+
+// Posterior is the set of accepted draws, ascending by distance.
+type Posterior struct {
+	Samples []Sample
+}
+
+// Best returns the closest accepted draw.
+func (p *Posterior) Best() Sample { return p.Samples[0] }
+
+// MedianK2 returns the posterior median of k2.
+func (p *Posterior) MedianK2() float64 {
+	return medianOf(p.Samples, func(s Sample) float64 { return s.K2 })
+}
+
+// MedianK3 returns the posterior median of k3.
+func (p *Posterior) MedianK3() float64 {
+	return medianOf(p.Samples, func(s Sample) float64 { return s.K3 })
+}
+
+func medianOf(ss []Sample, f func(Sample) float64) float64 {
+	vals := make([]float64, len(ss))
+	for i, s := range ss {
+		vals[i] = f(s)
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2]
+}
+
+// Infer runs rejection ABC against the target statistics.
+func Infer(target Target, prior Prior, o Options) (*Posterior, error) {
+	if err := prior.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.normalize()
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	settings := core.DefaultSettings()
+	settings.PopulationSize = o.GAPop
+	settings.Generations = o.GAGens
+	settings.NumSaved = maxInt(1, o.GAPop/10)
+	settings.NumMutation = o.GAPop * 3 / 10
+
+	all := make([]Sample, 0, o.Samples)
+	for i := 0; i < o.Samples; i++ {
+		k2 := logUniform(prior.K2Lo, prior.K2Hi, rng)
+		k3 := logUniform(prior.K3Lo, prior.K3Hi, rng)
+		params := cost.Params{K0: 10, K1: 1, K2: k2, K3: k3}
+		var deg, cv, clu, dia float64
+		for trial := 0; trial < o.TrialsPerSample; trial++ {
+			pts := geom.NewUniform().Sample(o.N, rng)
+			pops := traffic.NewExponential().Sample(o.N, rng)
+			e, err := cost.NewEvaluator(geom.DistanceMatrix(pts), traffic.Gravity(pops, traffic.DefaultGravityScale), params)
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.Run(e, settings, rng)
+			if err != nil {
+				return nil, err
+			}
+			deg += metrics.AverageDegree(res.Best)
+			cv += metrics.DegreeCV(res.Best)
+			clu += metrics.GlobalClustering(res.Best)
+			dia += float64(metrics.Diameter(res.Best))
+		}
+		k := float64(o.TrialsPerSample)
+		got := Target{AverageDegree: deg / k, DegreeCV: cv / k, Clustering: clu / k, Diameter: dia / k}
+		all = append(all, Sample{K2: k2, K3: k3, Distance: distance(target, got), Stats: got})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Distance < all[j].Distance })
+	return &Posterior{Samples: all[:o.Keep]}, nil
+}
+
+// distance is a scale-normalized Euclidean distance over the defined
+// target fields. Scales reflect each statistic's natural range so no
+// single one dominates.
+func distance(want, got Target) float64 {
+	var sum float64
+	add := func(w, g, scale float64) {
+		if math.IsNaN(w) {
+			return
+		}
+		d := (w - g) / scale
+		sum += d * d
+	}
+	add(want.AverageDegree, got.AverageDegree, 1.0)
+	add(want.DegreeCV, got.DegreeCV, 0.5)
+	add(want.Clustering, got.Clustering, 0.1)
+	add(want.Diameter, got.Diameter, 3.0)
+	return math.Sqrt(sum)
+}
+
+func logUniform(lo, hi float64, rng *rand.Rand) float64 {
+	return lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

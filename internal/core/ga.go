@@ -1,0 +1,440 @@
+// Package core implements COLD's genetic algorithm (§3.3 and §4 of the
+// paper), the heuristic search that picks a near-optimal topology for a
+// given context (PoP locations + traffic matrix) under the four-parameter
+// cost model.
+//
+// Candidate topologies ("chromosomes") are adjacency matrices. Each
+// generation keeps the best topologies unchanged (elitism), breeds new ones
+// by per-link crossover between tournament-selected parents, and mutates
+// others by adding/removing a geometric number of links or by collapsing a
+// non-leaf node into a leaf. Offspring that come out disconnected are
+// repaired by joining components with a distance-minimal spanning set of
+// links (§4.1.3), so every evaluated candidate can carry the traffic.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/networksynth/cold/internal/cost"
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/stats"
+)
+
+// Settings control the genetic algorithm. The zero value is not runnable;
+// use DefaultSettings (the paper's T = M = 100 with its a=2, b=10
+// tournament and geometric(0.5) link mutation).
+type Settings struct {
+	PopulationSize int // M: topologies per generation
+	Generations    int // T
+
+	// Next-generation composition. They must sum to at most
+	// PopulationSize; any remainder is filled with crossover offspring.
+	NumSaved    int // elite topologies copied unchanged
+	NumMutation int // mutated topologies
+
+	// Tournament parent selection: pick TournamentB candidates uniformly,
+	// keep the best TournamentA as parents (paper: a=2, b=10).
+	TournamentA int
+	TournamentB int
+
+	// LinkMutationGeomP is the geometric parameter for the number of links
+	// added and removed by a link mutation (paper: 0.5, giving on average
+	// two link changes per mutation).
+	LinkMutationGeomP float64
+
+	// NodeMutationProb is the probability a mutation is a node mutation
+	// (collapse a random non-leaf into a leaf) rather than a link
+	// mutation.
+	NodeMutationProb float64
+
+	// InitialEdgeProb is the Erdős–Rényi p used for the random part of the
+	// first generation. Zero means automatic (expected ~1.5 links per
+	// node, between tree and mesh, per the paper's guidance that p·C(n,2)
+	// should approximate the optimal link count).
+	InitialEdgeProb float64
+
+	// Seeds are extra starting topologies, typically heuristic outputs
+	// (the paper's "initialised GA"). They join the MST and the clique in
+	// the first generation.
+	Seeds []*graph.Graph
+
+	// TrackHistory records the best cost after every generation in
+	// Result.History (used for convergence tests and plots).
+	TrackHistory bool
+
+	// StopAfterStagnant, when positive, stops the run early once the best
+	// cost has not improved by more than StagnationTolerance (relative)
+	// for that many consecutive generations — the paper's alternative to
+	// a fixed T ("stop the GA once the relative rate of change of best
+	// cost was sufficiently low", §5). Generations remains the hard cap.
+	StopAfterStagnant int
+
+	// StagnationTolerance is the relative improvement below which a
+	// generation counts as stagnant. Zero means 1e-9.
+	StagnationTolerance float64
+}
+
+// DefaultSettings returns the paper's configuration: M = T = 100, 10%
+// elite, 30% mutation, a=2/b=10 tournament, geometric(0.5) link mutation,
+// equal chance of node mutation.
+func DefaultSettings() Settings {
+	return Settings{
+		PopulationSize:    100,
+		Generations:       100,
+		NumSaved:          10,
+		NumMutation:       30,
+		TournamentA:       2,
+		TournamentB:       10,
+		LinkMutationGeomP: 0.5,
+		NodeMutationProb:  0.5,
+	}
+}
+
+// Validate reports whether the settings are internally consistent.
+func (s Settings) Validate() error {
+	if s.PopulationSize < 2 {
+		return fmt.Errorf("core: population size %d < 2", s.PopulationSize)
+	}
+	if s.Generations < 1 {
+		return fmt.Errorf("core: generations %d < 1", s.Generations)
+	}
+	if s.NumSaved < 1 {
+		return fmt.Errorf("core: NumSaved %d < 1 (elitism required for monotone best cost)", s.NumSaved)
+	}
+	if s.NumSaved+s.NumMutation > s.PopulationSize {
+		return fmt.Errorf("core: NumSaved + NumMutation = %d exceeds population %d",
+			s.NumSaved+s.NumMutation, s.PopulationSize)
+	}
+	if s.TournamentA < 1 || s.TournamentB < s.TournamentA {
+		return fmt.Errorf("core: tournament a=%d, b=%d invalid (need 1 <= a <= b)", s.TournamentA, s.TournamentB)
+	}
+	if s.LinkMutationGeomP <= 0 || s.LinkMutationGeomP > 1 {
+		return fmt.Errorf("core: link mutation geometric parameter %v outside (0,1]", s.LinkMutationGeomP)
+	}
+	if s.NodeMutationProb < 0 || s.NodeMutationProb > 1 {
+		return fmt.Errorf("core: node mutation probability %v outside [0,1]", s.NodeMutationProb)
+	}
+	if s.InitialEdgeProb < 0 || s.InitialEdgeProb > 1 {
+		return fmt.Errorf("core: initial edge probability %v outside [0,1]", s.InitialEdgeProb)
+	}
+	return nil
+}
+
+// Result is the GA's output: the best topology found, plus the final
+// population (the paper highlights that a GA run yields a whole population
+// of good topologies for the same context, useful for simulation).
+type Result struct {
+	Best     *graph.Graph
+	BestCost float64
+
+	// Final generation, sorted by ascending cost (Population[0] == Best).
+	Population []*graph.Graph
+	Costs      []float64
+
+	// History[g] is the best cost after generation g (only when
+	// Settings.TrackHistory is set).
+	History []float64
+
+	// Evaluations counts cost-function calls (including memoized hits).
+	Evaluations uint64
+}
+
+// Run executes the genetic algorithm for the context held by e. The rng
+// drives all stochastic choices, making runs reproducible.
+func Run(e *cost.Evaluator, s Settings, rng *rand.Rand) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := e.N()
+	if n < 1 {
+		return nil, fmt.Errorf("core: context has no PoPs")
+	}
+	for i, seed := range s.Seeds {
+		if seed.N() != n {
+			return nil, fmt.Errorf("core: seed %d has %d nodes, context has %d", i, seed.N(), n)
+		}
+	}
+
+	ga := &runner{e: e, s: s, rng: rng, n: n}
+	pop := ga.initialPopulation()
+	costs := ga.evaluate(pop)
+	sortByCost(pop, costs)
+
+	var history []float64
+	if s.TrackHistory {
+		history = append(history, costs[0])
+	}
+
+	tol := s.StagnationTolerance
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	stagnant := 0
+	lastBest := costs[0]
+
+	next := make([]*graph.Graph, 0, s.PopulationSize)
+	for gen := 1; gen < s.Generations; gen++ {
+		next = next[:0]
+		// Elite survive unchanged.
+		for i := 0; i < s.NumSaved && i < len(pop); i++ {
+			next = append(next, pop[i])
+		}
+		// Mutations.
+		for i := 0; i < s.NumMutation; i++ {
+			next = append(next, ga.mutate(pop, costs))
+		}
+		// Crossover fills the remainder.
+		for len(next) < s.PopulationSize {
+			next = append(next, ga.crossover(pop, costs))
+		}
+		pop, next = next, pop[:0]
+		costs = ga.evaluate(pop)
+		sortByCost(pop, costs)
+		if s.TrackHistory {
+			history = append(history, costs[0])
+		}
+		if s.StopAfterStagnant > 0 {
+			if lastBest-costs[0] <= tol*math.Abs(lastBest) {
+				stagnant++
+				if stagnant >= s.StopAfterStagnant {
+					break
+				}
+			} else {
+				stagnant = 0
+			}
+			lastBest = costs[0]
+		}
+	}
+
+	return &Result{
+		Best:        pop[0],
+		BestCost:    costs[0],
+		Population:  pop,
+		Costs:       costs,
+		History:     history,
+		Evaluations: ga.evals,
+	}, nil
+}
+
+type runner struct {
+	e     *cost.Evaluator
+	s     Settings
+	rng   *rand.Rand
+	n     int
+	evals uint64
+
+	nbuf []int // neighbor scratch
+}
+
+// initialPopulation builds generation zero per §4.1: the distance MST, the
+// clique, any provided seeds, and Erdős–Rényi random graphs (repaired to be
+// connected) for the rest.
+func (ga *runner) initialPopulation() []*graph.Graph {
+	n := ga.n
+	pop := make([]*graph.Graph, 0, ga.s.PopulationSize)
+	pop = append(pop, graph.MST(n, ga.e.Dist()))
+	if len(pop) < ga.s.PopulationSize {
+		pop = append(pop, graph.Complete(n))
+	}
+	for _, seed := range ga.s.Seeds {
+		if len(pop) >= ga.s.PopulationSize {
+			break
+		}
+		pop = append(pop, seed.Clone())
+	}
+	p := ga.s.InitialEdgeProb
+	if p == 0 {
+		// Aim for ~1.5 links per node, clamped to a proper probability.
+		if n > 1 {
+			p = 3.0 / float64(n)
+		}
+		if p > 1 {
+			p = 1
+		}
+	}
+	for len(pop) < ga.s.PopulationSize {
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if ga.rng.Float64() < p {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		g.Connect(ga.e.Dist())
+		pop = append(pop, g)
+	}
+	return pop
+}
+
+func (ga *runner) evaluate(pop []*graph.Graph) []float64 {
+	costs := make([]float64, len(pop))
+	for i, g := range pop {
+		costs[i] = ga.e.Cost(g)
+		ga.evals++
+	}
+	return costs
+}
+
+// crossover creates one offspring: tournament-pick b candidates, keep the
+// best a as parents, then copy each potential link from a parent chosen
+// with probability inversely proportional to its cost.
+func (ga *runner) crossover(pop []*graph.Graph, costs []float64) *graph.Graph {
+	a, b := ga.s.TournamentA, ga.s.TournamentB
+	if b > len(pop) {
+		b = len(pop)
+	}
+	if a > b {
+		a = b
+	}
+	// Choose b distinct candidate indices, keep the a cheapest. pop is
+	// sorted by cost, so "cheapest" is "lowest index".
+	cand := ga.rng.Perm(len(pop))[:b]
+	parents := bestIndices(cand, a)
+
+	weights := make([]float64, len(parents))
+	for i, pi := range parents {
+		weights[i] = inverseCostWeight(costs[pi])
+	}
+	child := graph.New(ga.n)
+	for i := 0; i < ga.n; i++ {
+		for j := i + 1; j < ga.n; j++ {
+			p := pop[parents[stats.WeightedIndex(weights, ga.rng)]]
+			if p.HasEdge(i, j) {
+				child.AddEdge(i, j)
+			}
+		}
+	}
+	child.Connect(ga.e.Dist())
+	return child
+}
+
+// mutate creates one offspring by mutating a parent chosen with probability
+// inversely proportional to cost, applying either a link mutation or a node
+// mutation (§4.1.2).
+func (ga *runner) mutate(pop []*graph.Graph, costs []float64) *graph.Graph {
+	weights := make([]float64, len(pop))
+	for i, c := range costs {
+		weights[i] = inverseCostWeight(c)
+	}
+	parent := pop[stats.WeightedIndex(weights, ga.rng)]
+	child := parent.Clone()
+	if ga.rng.Float64() < ga.s.NodeMutationProb {
+		ga.nodeMutation(child)
+	} else {
+		ga.linkMutation(child)
+	}
+	child.Connect(ga.e.Dist())
+	return child
+}
+
+// linkMutation removes m+ existing links and adds m− absent links, both
+// geometric(p) counts.
+func (ga *runner) linkMutation(g *graph.Graph) {
+	removals := stats.Geometric(ga.s.LinkMutationGeomP, ga.rng)
+	additions := stats.Geometric(ga.s.LinkMutationGeomP, ga.rng)
+	edges := g.Edges()
+	ga.rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for i := 0; i < removals && i < len(edges); i++ {
+		g.RemoveEdge(edges[i].I, edges[i].J)
+	}
+	n := g.N()
+	maxEdges := n * (n - 1) / 2
+	for added := 0; added < additions && g.NumEdges() < maxEdges; {
+		i, j := ga.rng.Intn(n), ga.rng.Intn(n)
+		if i == j || g.HasEdge(i, j) {
+			continue
+		}
+		g.AddEdge(i, j)
+		added++
+	}
+}
+
+// nodeMutation turns one uniformly chosen non-leaf node into a leaf whose
+// single link runs to the closest remaining non-leaf node. Leaves that hung
+// off the collapsed hub are re-attached to their own closest remaining
+// non-leaf node — without this the repair step tends to re-attach them to
+// the collapsed node, silently reconstituting the hub and trapping the GA
+// in local minima at large k3.
+func (ga *runner) nodeMutation(g *graph.Graph) {
+	core := g.CoreNodes()
+	if len(core) < 2 {
+		return // nothing to collapse, or no other hub to attach to
+	}
+	v := core[ga.rng.Intn(len(core))]
+	targets := core[:0:0]
+	for _, h := range core {
+		if h != v {
+			targets = append(targets, h)
+		}
+	}
+	ga.nbuf = g.Neighbors(v, ga.nbuf[:0])
+	for _, u := range ga.nbuf {
+		g.RemoveEdge(v, u)
+	}
+	dist := ga.e.Dist()
+	g.AddEdge(v, nearestTo(dist, v, targets))
+	for _, u := range ga.nbuf {
+		if g.Degree(u) == 0 {
+			g.AddEdge(u, nearestTo(dist, u, targets))
+		}
+	}
+}
+
+// nearestTo returns the member of candidates closest to v (lowest index on
+// ties). candidates must be non-empty and exclude v.
+func nearestTo(dist [][]float64, v int, candidates []int) int {
+	best, bestD := candidates[0], math.Inf(1)
+	for _, h := range candidates {
+		if d := dist[v][h]; d < bestD {
+			best, bestD = h, d
+		}
+	}
+	return best
+}
+
+// inverseCostWeight maps a cost to a selection weight 1/cost, treating
+// non-positive or non-finite costs safely (infinite cost → zero weight; a
+// zero cost would make the weight infinite, so it is capped).
+func inverseCostWeight(c float64) float64 {
+	if math.IsInf(c, 1) || math.IsNaN(c) {
+		return 0
+	}
+	if c <= 0 {
+		return 1e18
+	}
+	return 1 / c
+}
+
+// bestIndices returns the k smallest values of idxs (population indices;
+// smaller index = cheaper because the population is sorted).
+func bestIndices(idxs []int, k int) []int {
+	out := append([]int(nil), idxs...)
+	// Partial selection sort: k is tiny (a=2).
+	for i := 0; i < k && i < len(out); i++ {
+		min := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[min] {
+				min = j
+			}
+		}
+		out[i], out[min] = out[min], out[i]
+	}
+	return out[:k]
+}
+
+// sortByCost sorts pop and costs together, ascending cost. Ties keep a
+// deterministic order via insertion sort's stability on equal keys.
+func sortByCost(pop []*graph.Graph, costs []float64) {
+	for i := 1; i < len(pop); i++ {
+		g, c := pop[i], costs[i]
+		j := i - 1
+		for j >= 0 && costs[j] > c {
+			pop[j+1], costs[j+1] = pop[j], costs[j]
+			j--
+		}
+		pop[j+1], costs[j+1] = g, c
+	}
+}

@@ -1,0 +1,475 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/networksynth/cold/internal/cost"
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/heuristics"
+	"github.com/networksynth/cold/internal/traffic"
+)
+
+func ctx(t testing.TB, n int, p cost.Params, seed int64) *cost.Evaluator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := geom.NewUniform().Sample(n, rng)
+	pops := traffic.NewExponential().Sample(n, rng)
+	e, err := cost.NewEvaluator(geom.DistanceMatrix(pts), traffic.Gravity(pops, 1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func smallSettings() Settings {
+	s := DefaultSettings()
+	s.PopulationSize = 30
+	s.Generations = 30
+	s.NumSaved = 4
+	s.NumMutation = 10
+	return s
+}
+
+func TestDefaultSettingsValid(t *testing.T) {
+	if err := DefaultSettings().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSettingsValidation(t *testing.T) {
+	bad := []func(*Settings){
+		func(s *Settings) { s.PopulationSize = 1 },
+		func(s *Settings) { s.Generations = 0 },
+		func(s *Settings) { s.NumSaved = 0 },
+		func(s *Settings) { s.NumSaved = 90; s.NumMutation = 20 },
+		func(s *Settings) { s.TournamentA = 0 },
+		func(s *Settings) { s.TournamentA = 5; s.TournamentB = 2 },
+		func(s *Settings) { s.LinkMutationGeomP = 0 },
+		func(s *Settings) { s.LinkMutationGeomP = 1.5 },
+		func(s *Settings) { s.NodeMutationProb = -0.1 },
+		func(s *Settings) { s.InitialEdgeProb = 2 },
+	}
+	for i, mutate := range bad {
+		s := DefaultSettings()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: settings should be invalid: %+v", i, s)
+		}
+	}
+}
+
+func TestRunProducesConnectedResult(t *testing.T) {
+	e := ctx(t, 15, cost.DefaultParams(), 1)
+	res, err := Run(e, smallSettings(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || !res.Best.IsConnected() {
+		t.Fatal("GA best must be connected")
+	}
+	if math.IsInf(res.BestCost, 1) {
+		t.Fatal("GA best cost infinite")
+	}
+	if len(res.Population) != 30 || len(res.Costs) != 30 {
+		t.Fatalf("population size %d, costs %d", len(res.Population), len(res.Costs))
+	}
+	// Population sorted ascending, best first.
+	for i := 1; i < len(res.Costs); i++ {
+		if res.Costs[i] < res.Costs[i-1] {
+			t.Fatal("final population not sorted by cost")
+		}
+	}
+	if res.Costs[0] != res.BestCost || !res.Population[0].Equal(res.Best) {
+		t.Fatal("Best must be the first population member")
+	}
+	if got := e.Cost(res.Best); math.Abs(got-res.BestCost) > 1e-9 {
+		t.Fatalf("BestCost %v != recomputed %v", res.BestCost, got)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	e1 := ctx(t, 12, cost.DefaultParams(), 7)
+	e2 := ctx(t, 12, cost.DefaultParams(), 7)
+	r1, err := Run(e1, smallSettings(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(e2, smallSettings(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.BestCost != r2.BestCost || !r1.Best.Equal(r2.Best) {
+		t.Fatal("identical seeds must give identical results")
+	}
+}
+
+func TestHistoryMonotoneNonIncreasing(t *testing.T) {
+	e := ctx(t, 15, cost.Params{K0: 10, K1: 1, K2: 4e-4, K3: 10}, 3)
+	s := smallSettings()
+	s.TrackHistory = true
+	res, err := Run(e, s, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != s.Generations {
+		t.Fatalf("history length %d, want %d", len(res.History), s.Generations)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]+1e-9 {
+			t.Fatalf("elitism violated: best cost rose at generation %d (%v -> %v)",
+				i, res.History[i-1], res.History[i])
+		}
+	}
+}
+
+func TestGABeatsOrMatchesMSTAndClique(t *testing.T) {
+	// The MST and clique are in the initial population, so the result can
+	// never be worse than either.
+	for _, p := range []cost.Params{
+		{K0: 10, K1: 1, K2: 2.5e-5, K3: 0},
+		{K0: 10, K1: 1, K2: 1.6e-3, K3: 0},
+		{K0: 10, K1: 1, K2: 1e-4, K3: 100},
+	} {
+		e := ctx(t, 12, p, 5)
+		res, err := Run(e, smallSettings(), rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mst := e.Cost(graph.MST(12, e.Dist()))
+		clique := e.Cost(graph.Complete(12))
+		if res.BestCost > mst+1e-9 || res.BestCost > clique+1e-9 {
+			t.Errorf("params %v: GA %v worse than MST %v or clique %v", p, res.BestCost, mst, clique)
+		}
+	}
+}
+
+func TestInitialisedGABeatsSeeds(t *testing.T) {
+	// Seeding with heuristics guarantees the GA is at least as good as
+	// every heuristic (the paper's key argument for the initialised GA).
+	p := cost.Params{K0: 10, K1: 1, K2: 4e-4, K3: 10}
+	e := ctx(t, 12, p, 11)
+	hs := heuristics.All(e, rand.New(rand.NewSource(3)))
+	s := smallSettings()
+	s.Seeds = heuristics.Graphs(hs)
+	res, err := Run(e, s, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hs {
+		if res.BestCost > h.Cost+1e-9 {
+			t.Errorf("initialised GA %v worse than seed %s %v", res.BestCost, h.Name, h.Cost)
+		}
+	}
+}
+
+func TestGAFindsBruteForceOptimumSmallN(t *testing.T) {
+	// §5: "for networks of up to 8 PoPs the GA always finds the real
+	// optimal solution". Verify on 6-PoP contexts across cost regimes.
+	params := []cost.Params{
+		{K0: 10, K1: 1, K2: 1e-4, K3: 0},
+		{K0: 10, K1: 1, K2: 1.6e-3, K3: 0},
+		{K0: 10, K1: 1, K2: 1e-4, K3: 50},
+	}
+	for _, p := range params {
+		for seed := int64(0); seed < 2; seed++ {
+			e := ctx(t, 6, p, seed)
+			opt, err := heuristics.BruteForce(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := DefaultSettings()
+			s.PopulationSize = 40
+			s.Generations = 60
+			s.NumSaved = 5
+			s.NumMutation = 14
+			res, err := Run(e, s, rand.New(rand.NewSource(seed+1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.BestCost > opt.Cost*(1+1e-9) {
+				t.Errorf("params %v seed %d: GA %v missed optimum %v", p, seed, res.BestCost, opt.Cost)
+			}
+		}
+	}
+}
+
+func TestK3DominantGivesStar(t *testing.T) {
+	// When the hub cost dominates, the optimum has a single core node.
+	e := ctx(t, 10, cost.Params{K0: 1, K1: 1, K2: 1e-7, K3: 1e5}, 13)
+	res, err := Run(e, smallSettings(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hubs := len(res.Best.CoreNodes()); hubs != 1 {
+		t.Errorf("k3-dominant GA result has %d hubs, want 1 (%v)", hubs, res.Best)
+	}
+}
+
+func TestK2DominantGivesDenser(t *testing.T) {
+	lo := ctx(t, 12, cost.Params{K0: 10, K1: 1, K2: 1e-6, K3: 0}, 17)
+	hi := ctx(t, 12, cost.Params{K0: 10, K1: 1, K2: 5e-2, K3: 0}, 17)
+	rlo, err := Run(lo, smallSettings(), rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhi, err := Run(hi, smallSettings(), rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhi.Best.NumEdges() <= rlo.Best.NumEdges() {
+		t.Errorf("high k2 (%d edges) should be denser than low k2 (%d edges)",
+			rhi.Best.NumEdges(), rlo.Best.NumEdges())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	e := ctx(t, 8, cost.DefaultParams(), 1)
+	s := smallSettings()
+	s.PopulationSize = 1
+	if _, err := Run(e, s, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid settings should error")
+	}
+	s = smallSettings()
+	s.Seeds = []*graph.Graph{graph.New(5)}
+	if _, err := Run(e, s, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("wrong-size seed should error")
+	}
+}
+
+func TestMutationPreservesConnectivity(t *testing.T) {
+	e := ctx(t, 12, cost.DefaultParams(), 19)
+	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(7)), n: 12}
+	pop := ga.initialPopulation()
+	costs := ga.evaluate(pop)
+	sortByCost(pop, costs)
+	for i := 0; i < 200; i++ {
+		child := ga.mutate(pop, costs)
+		if !child.IsConnected() {
+			t.Fatal("mutation produced disconnected child after repair")
+		}
+	}
+}
+
+func TestCrossoverPreservesConnectivity(t *testing.T) {
+	e := ctx(t, 12, cost.DefaultParams(), 23)
+	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(8)), n: 12}
+	pop := ga.initialPopulation()
+	costs := ga.evaluate(pop)
+	sortByCost(pop, costs)
+	for i := 0; i < 200; i++ {
+		child := ga.crossover(pop, costs)
+		if !child.IsConnected() {
+			t.Fatal("crossover produced disconnected child after repair")
+		}
+	}
+}
+
+func TestCrossoverOfIdenticalParentsIsParent(t *testing.T) {
+	// If every population member is the same graph, crossover must
+	// reproduce it exactly (before repair, which then changes nothing).
+	e := ctx(t, 10, cost.DefaultParams(), 29)
+	base := graph.MST(10, e.Dist())
+	pop := make([]*graph.Graph, 20)
+	costs := make([]float64, 20)
+	for i := range pop {
+		pop[i] = base
+		costs[i] = e.Cost(base)
+	}
+	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(9)), n: 10}
+	for i := 0; i < 20; i++ {
+		child := ga.crossover(pop, costs)
+		if !child.Equal(base) {
+			t.Fatal("crossover of identical parents changed the graph")
+		}
+	}
+}
+
+func TestNodeMutationMakesLeaf(t *testing.T) {
+	e := ctx(t, 10, cost.DefaultParams(), 31)
+	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(10)), n: 10}
+	g := graph.Complete(10)
+	before := len(g.CoreNodes())
+	ga.nodeMutation(g)
+	after := len(g.CoreNodes())
+	if after >= before {
+		t.Errorf("node mutation did not reduce core nodes: %d -> %d", before, after)
+	}
+	leaves := 0
+	for i := 0; i < 10; i++ {
+		if g.IsLeaf(i) {
+			leaves++
+		}
+	}
+	if leaves != 1 {
+		t.Errorf("expected exactly one new leaf, got %d", leaves)
+	}
+}
+
+func TestNodeMutationOnStarIsNoop(t *testing.T) {
+	e := ctx(t, 6, cost.DefaultParams(), 37)
+	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(11)), n: 6}
+	star := graph.New(6)
+	for v := 1; v < 6; v++ {
+		star.AddEdge(0, v)
+	}
+	want := star.Clone()
+	ga.nodeMutation(star)
+	if !star.Equal(want) {
+		t.Error("node mutation should be a no-op on a star (single core node)")
+	}
+}
+
+func TestLinkMutationBounded(t *testing.T) {
+	e := ctx(t, 8, cost.DefaultParams(), 41)
+	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(12)), n: 8}
+	for i := 0; i < 100; i++ {
+		g := graph.Complete(8)
+		ga.linkMutation(g)
+		if g.NumEdges() > 28 {
+			t.Fatal("link mutation exceeded complete graph")
+		}
+	}
+	// On an empty-ish graph, additions cannot loop forever.
+	g := graph.MST(8, e.Dist())
+	for i := 0; i < 100; i++ {
+		ga.linkMutation(g)
+	}
+}
+
+func TestInverseCostWeight(t *testing.T) {
+	if inverseCostWeight(math.Inf(1)) != 0 {
+		t.Error("infinite cost should weigh 0")
+	}
+	if inverseCostWeight(math.NaN()) != 0 {
+		t.Error("NaN cost should weigh 0")
+	}
+	if inverseCostWeight(2) != 0.5 {
+		t.Error("finite weight wrong")
+	}
+	if inverseCostWeight(0) <= 0 {
+		t.Error("zero cost should weigh heavily, not crash")
+	}
+}
+
+func TestBestIndices(t *testing.T) {
+	got := bestIndices([]int{5, 2, 9, 1, 7}, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("bestIndices = %v, want [1 2]", got)
+	}
+}
+
+func TestSortByCost(t *testing.T) {
+	gs := []*graph.Graph{graph.New(2), graph.New(3), graph.New(4)}
+	cs := []float64{3, 1, 2}
+	sortByCost(gs, cs)
+	if cs[0] != 1 || cs[1] != 2 || cs[2] != 3 {
+		t.Fatalf("costs after sort: %v", cs)
+	}
+	if gs[0].N() != 3 || gs[1].N() != 4 || gs[2].N() != 2 {
+		t.Fatal("graphs not permuted with costs")
+	}
+}
+
+func TestInitialPopulationComposition(t *testing.T) {
+	e := ctx(t, 10, cost.DefaultParams(), 43)
+	s := smallSettings()
+	seed := graph.Complete(10)
+	seed.RemoveEdge(0, 1)
+	s.Seeds = []*graph.Graph{seed}
+	ga := &runner{e: e, s: s, rng: rand.New(rand.NewSource(13)), n: 10}
+	pop := ga.initialPopulation()
+	if len(pop) != s.PopulationSize {
+		t.Fatalf("population size %d", len(pop))
+	}
+	if !pop[0].Equal(graph.MST(10, e.Dist())) {
+		t.Error("first member should be the MST")
+	}
+	if !pop[1].Equal(graph.Complete(10)) {
+		t.Error("second member should be the clique")
+	}
+	if !pop[2].Equal(seed) {
+		t.Error("third member should be the provided seed")
+	}
+	for i, g := range pop {
+		if !g.IsConnected() {
+			t.Fatalf("initial member %d disconnected", i)
+		}
+	}
+	// Seeds must be cloned: mutating the population must not touch the
+	// caller's graph.
+	pop[2].RemoveEdge(2, 3)
+	if !seed.HasEdge(2, 3) {
+		t.Error("initial population shares storage with caller's seed")
+	}
+}
+
+func TestEvaluationsCounted(t *testing.T) {
+	e := ctx(t, 8, cost.DefaultParams(), 47)
+	s := smallSettings()
+	res, err := Run(e, s, rand.New(rand.NewSource(14)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(s.PopulationSize * s.Generations)
+	if res.Evaluations != want {
+		t.Errorf("evaluations = %d, want %d", res.Evaluations, want)
+	}
+}
+
+func BenchmarkGAPaperScaleN30(b *testing.B) {
+	e := ctx(b, 30, cost.Params{K0: 10, K1: 1, K2: 4e-4, K3: 10}, 1)
+	s := DefaultSettings()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(e, s, rand.New(rand.NewSource(int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStopAfterStagnant(t *testing.T) {
+	e := ctx(t, 12, cost.DefaultParams(), 51)
+	s := smallSettings()
+	s.Generations = 200
+	s.TrackHistory = true
+	s.StopAfterStagnant = 5
+	res, err := Run(e, s, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) >= 200 {
+		t.Errorf("early stop did not trigger: ran %d generations", len(res.History))
+	}
+	// The tail of the history must be flat for at least the stagnation
+	// window.
+	h := res.History
+	for i := len(h) - 5; i < len(h); i++ {
+		if h[i] < h[len(h)-6]-1e-9*h[len(h)-6] {
+			t.Errorf("history improved inside the stagnation window: %v", h[len(h)-8:])
+		}
+	}
+}
+
+func TestStopAfterStagnantFindsSameQuality(t *testing.T) {
+	// Early stopping should not meaningfully hurt solution quality on a
+	// small instance (the paper: T=100 "proved to function similarly").
+	e := ctx(t, 10, cost.Params{K0: 10, K1: 1, K2: 4e-4, K3: 10}, 53)
+	full := smallSettings()
+	full.Generations = 80
+	resFull, err := Run(e, full, rand.New(rand.NewSource(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := full
+	early.StopAfterStagnant = 15
+	resEarly, err := Run(e, early, rand.New(rand.NewSource(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resEarly.BestCost > resFull.BestCost*1.1 {
+		t.Errorf("early stop cost %v much worse than full run %v", resEarly.BestCost, resFull.BestCost)
+	}
+}

@@ -1,0 +1,433 @@
+// Package cost implements COLD's optimization objective (§3.2 of the
+// paper): shortest-path routing over candidate topologies, the per-link
+// capacities w_i implied by the traffic matrix, and the four-parameter cost
+//
+//	Σ_{i∈E} (k0 + k1·ℓ_i + k2·ℓ_i·w_i)  +  k3·|{j : degree(j) > 1}|
+//
+// The Evaluator is the hot path of the whole system — the genetic algorithm
+// calls Cost on every candidate in every generation — so it routes with an
+// array-based Dijkstra (optimal at PoP scale), accumulates link loads along
+// shortest-path trees in O(n log n) per source, reuses scratch buffers, and
+// memoizes results by graph hash (GA populations converge, so identical
+// candidates recur constantly).
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/traffic"
+)
+
+// Params are the cost coefficients k0..k3. Costs are relative, so the paper
+// fixes k1 = 1 and tunes the other three.
+type Params struct {
+	K0 float64 // per-link existence cost
+	K1 float64 // per-unit-length cost (trenches, conduits)
+	K2 float64 // per-unit-length per-unit-bandwidth cost
+	K3 float64 // complexity cost of each non-leaf ("core"/hub) PoP
+}
+
+// DefaultParams returns the baseline used throughout the paper's
+// experiments: k0 = 10, k1 = 1, with k2 and k3 swept per figure. The
+// defaults here pick a mid-range k2 and no hub cost.
+func DefaultParams() Params {
+	return Params{K0: 10, K1: 1, K2: 1e-4, K3: 0}
+}
+
+// Validate rejects negative or non-finite coefficients.
+func (p Params) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{{"k0", p.K0}, {"k1", p.K1}, {"k2", p.K2}, {"k3", p.K3}} {
+		if v.val < 0 || math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+			return fmt.Errorf("cost: %s = %v must be non-negative and finite", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// String renders the parameters compactly.
+func (p Params) String() string {
+	return fmt.Sprintf("k0=%g k1=%g k2=%g k3=%g", p.K0, p.K1, p.K2, p.K3)
+}
+
+// Routing holds shortest-path trees for every source: PathDist[s][v] is the
+// physical length of the shortest s→v path and Parent[s][v] the predecessor
+// of v on it (-1 for the source itself or unreachable nodes). Ties are
+// broken toward lower node indices, so routing is deterministic.
+type Routing struct {
+	PathDist [][]float64
+	Parent   [][]int32
+}
+
+// Path returns the node sequence from s to d (inclusive), or nil if d is
+// unreachable from s.
+func (r *Routing) Path(s, d int) []int {
+	if s == d {
+		return []int{s}
+	}
+	if r.Parent[s][d] < 0 {
+		return nil
+	}
+	var rev []int
+	for v := d; v != s; v = int(r.Parent[s][v]) {
+		rev = append(rev, v)
+	}
+	rev = append(rev, s)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// NextHop returns the first hop on the shortest path from s toward d, or -1
+// if unreachable or s == d.
+func (r *Routing) NextHop(s, d int) int {
+	if s == d || r.Parent[s][d] < 0 {
+		return -1
+	}
+	v := d
+	for int(r.Parent[s][v]) != s {
+		v = int(r.Parent[s][v])
+	}
+	return v
+}
+
+// Evaluation is the full breakdown of a topology's cost, with everything a
+// simulation needs: link capacities and the routing that produced them.
+type Evaluation struct {
+	Total         float64
+	LinkTotal     float64 // Σ per-link costs (== Existence+Length+Bandwidth under the linear model)
+	ExistenceCost float64 // Σ k0 (linear model only)
+	LengthCost    float64 // Σ k1·ℓ (linear model only)
+	BandwidthCost float64 // Σ k2·ℓ·w (linear model only)
+	NodeCost      float64 // k3·|core nodes|
+	Connected     bool
+	CoreCount     int
+	Edges         []graph.Edge
+	Lengths       []float64 // ℓ_i, aligned with Edges
+	Capacities    []float64 // w_i, aligned with Edges
+	Routing       *Routing
+}
+
+// Evaluator computes topology costs for one fixed context (distance matrix
+// + traffic matrix + parameters). It is not safe for concurrent use: it
+// reuses internal scratch buffers between calls.
+type Evaluator struct {
+	dist   [][]float64
+	tm     *traffic.Matrix
+	params Params
+
+	// linkCost, when non-nil, replaces the linear per-link model (see
+	// SetLinkCostFunc).
+	linkCost LinkCostFunc
+
+	n int
+
+	// Dijkstra scratch.
+	dj struct {
+		dist   []float64
+		parent []int32
+		done   []bool
+		order  []int
+		acc    []float64
+		load   []float64 // n×n flattened link loads
+	}
+
+	// Memoized costs keyed by graph hash, verified against a stored clone
+	// to rule out collisions.
+	cache      map[uint64][]cacheEntry
+	cacheLimit int
+	hits       uint64
+	misses     uint64
+}
+
+type cacheEntry struct {
+	g    *graph.Graph
+	cost float64
+}
+
+// DefaultCacheLimit bounds the number of memoized topologies before the
+// cache resets.
+const DefaultCacheLimit = 1 << 16
+
+// NewEvaluator builds an evaluator for a context. dist must be an n×n
+// symmetric matrix of PoP distances and tm an n-PoP traffic matrix.
+func NewEvaluator(dist [][]float64, tm *traffic.Matrix, params Params) (*Evaluator, error) {
+	n := len(dist)
+	if tm.N() != n {
+		return nil, fmt.Errorf("cost: distance matrix is %d×%d but traffic matrix has %d PoPs", n, n, tm.N())
+	}
+	for i, row := range dist {
+		if len(row) != n {
+			return nil, fmt.Errorf("cost: distance row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Evaluator{dist: dist, tm: tm, params: params, n: n, cacheLimit: DefaultCacheLimit}
+	e.dj.dist = make([]float64, n)
+	e.dj.parent = make([]int32, n)
+	e.dj.done = make([]bool, n)
+	e.dj.order = make([]int, n)
+	e.dj.acc = make([]float64, n)
+	e.dj.load = make([]float64, n*n)
+	e.cache = make(map[uint64][]cacheEntry)
+	return e, nil
+}
+
+// MustNewEvaluator is NewEvaluator for contexts known to be well-formed;
+// it panics on error. Intended for tests and internal callers.
+func MustNewEvaluator(dist [][]float64, tm *traffic.Matrix, params Params) *Evaluator {
+	e, err := NewEvaluator(dist, tm, params)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// N returns the number of PoPs in the context.
+func (e *Evaluator) N() int { return e.n }
+
+// Params returns the cost coefficients.
+func (e *Evaluator) Params() Params { return e.params }
+
+// Dist returns the PoP distance matrix (shared, not copied).
+func (e *Evaluator) Dist() [][]float64 { return e.dist }
+
+// Traffic returns the traffic matrix.
+func (e *Evaluator) Traffic() *traffic.Matrix { return e.tm }
+
+// CacheStats reports memoization hits and misses since construction.
+func (e *Evaluator) CacheStats() (hits, misses uint64) { return e.hits, e.misses }
+
+// SetCacheLimit overrides the cache reset threshold. A limit of zero
+// disables memoization.
+func (e *Evaluator) SetCacheLimit(limit int) { e.cacheLimit = limit }
+
+// Cost returns the total cost of g, memoized. Disconnected topologies
+// cannot carry the traffic and get +Inf.
+func (e *Evaluator) Cost(g *graph.Graph) float64 {
+	if g.N() != e.n {
+		panic(fmt.Sprintf("cost: graph has %d nodes, context has %d", g.N(), e.n))
+	}
+	if e.cacheLimit > 0 {
+		h := g.Hash()
+		for _, ent := range e.cache[h] {
+			if ent.g.Equal(g) {
+				e.hits++
+				return ent.cost
+			}
+		}
+		c := e.computeCost(g)
+		if len(e.cache) >= e.cacheLimit {
+			e.cache = make(map[uint64][]cacheEntry)
+		}
+		e.cache[h] = append(e.cache[h], cacheEntry{g: g.Clone(), cost: c})
+		e.misses++
+		return c
+	}
+	e.misses++
+	return e.computeCost(g)
+}
+
+// computeCost is the uncached fast path: routes, accumulates loads, sums
+// the objective. It does not materialize per-edge slices.
+func (e *Evaluator) computeCost(g *graph.Graph) float64 {
+	if !e.routeAndLoad(g) {
+		return math.Inf(1)
+	}
+	p := e.params
+	var linkCost float64
+	core := 0
+	n := e.n
+	for i := 0; i < n; i++ {
+		deg := 0
+		g.EachNeighbor(i, func(j int) {
+			deg++
+			if j > i {
+				l := e.dist[i][j]
+				w := e.dj.load[i*n+j]
+				if e.linkCost != nil {
+					linkCost += e.linkCost(l, w)
+				} else {
+					linkCost += p.K0 + p.K1*l + p.K2*l*w
+				}
+			}
+		})
+		if deg > 1 {
+			core++
+		}
+	}
+	return linkCost + p.K3*float64(core)
+}
+
+// CostUncached computes the cost of g without touching the memoization
+// cache. Use it for exhaustive sweeps (e.g. brute force) whose candidates
+// never recur, where caching only wastes memory.
+func (e *Evaluator) CostUncached(g *graph.Graph) float64 {
+	if g.N() != e.n {
+		panic(fmt.Sprintf("cost: graph has %d nodes, context has %d", g.N(), e.n))
+	}
+	return e.computeCost(g)
+}
+
+// Evaluate returns the full cost breakdown including capacities and
+// routing. It is not memoized; use it for final results, not in the GA
+// loop.
+func (e *Evaluator) Evaluate(g *graph.Graph) *Evaluation {
+	ev := &Evaluation{}
+	n := e.n
+	rt := &Routing{
+		PathDist: make([][]float64, n),
+		Parent:   make([][]int32, n),
+	}
+	connected := true
+	for s := 0; s < n; s++ {
+		e.dijkstra(g, s)
+		rt.PathDist[s] = append([]float64(nil), e.dj.dist...)
+		rt.Parent[s] = append([]int32(nil), e.dj.parent...)
+		for v := 0; v < n; v++ {
+			if math.IsInf(e.dj.dist[v], 1) {
+				connected = false
+			}
+		}
+	}
+	ev.Routing = rt
+	ev.Connected = connected
+	if !connected {
+		ev.Total = math.Inf(1)
+		return ev
+	}
+	e.routeAndLoad(g)
+	p := e.params
+	ev.Edges = g.Edges()
+	ev.Lengths = make([]float64, len(ev.Edges))
+	ev.Capacities = make([]float64, len(ev.Edges))
+	for i, edge := range ev.Edges {
+		l := e.dist[edge.I][edge.J]
+		w := e.dj.load[edge.I*n+edge.J]
+		ev.Lengths[i] = l
+		ev.Capacities[i] = w
+		if e.linkCost != nil {
+			ev.LinkTotal += e.linkCost(l, w)
+		} else {
+			ev.ExistenceCost += p.K0
+			ev.LengthCost += p.K1 * l
+			ev.BandwidthCost += p.K2 * l * w
+		}
+	}
+	if e.linkCost == nil {
+		ev.LinkTotal = ev.ExistenceCost + ev.LengthCost + ev.BandwidthCost
+	}
+	ev.CoreCount = len(g.CoreNodes())
+	ev.NodeCost = p.K3 * float64(ev.CoreCount)
+	ev.Total = ev.LinkTotal + ev.NodeCost
+	return ev
+}
+
+// routeAndLoad runs Dijkstra from every source and accumulates the traffic
+// load each link must carry under shortest-path routing into e.dj.load
+// (symmetric, both triangles). Each unordered PoP pair {s,d} contributes
+// its demand once, as in the paper's Σ_r t_r L_r formulation. Returns false
+// if g is disconnected.
+func (e *Evaluator) routeAndLoad(g *graph.Graph) bool {
+	n := e.n
+	load := e.dj.load
+	for i := range load {
+		load[i] = 0
+	}
+	demand := e.tm.Demand
+	for s := 0; s < n; s++ {
+		if e.dijkstra(g, s) != n {
+			return false
+		}
+		parent, order, acc := e.dj.parent, e.dj.order, e.dj.acc
+		for v := 0; v < n; v++ {
+			if v > s {
+				acc[v] = demand[s][v]
+			} else {
+				acc[v] = 0
+			}
+		}
+		// Push demands down the shortest-path tree from the leaves.
+		// Dijkstra finalizes nodes in increasing distance order, so
+		// walking its finalization order backwards visits every node
+		// after all of its tree descendants.
+		for k := n - 1; k >= 1; k-- {
+			v := order[k]
+			if acc[v] == 0 {
+				continue
+			}
+			pv := int(parent[v])
+			load[v*n+pv] += acc[v]
+			load[pv*n+v] += acc[v]
+			acc[pv] += acc[v]
+		}
+	}
+	return true
+}
+
+// dijkstra computes shortest paths from src over the edges of g weighted by
+// physical distance, into the scratch buffers. Array-based O(n²): for PoP
+// counts (rarely above 100, per the paper) this beats heap-based variants.
+// Ties break toward lower node indices for determinism. The finalization
+// order (increasing distance) is recorded in e.dj.order; the return value
+// is the number of reachable (finalized) nodes.
+func (e *Evaluator) dijkstra(g *graph.Graph, src int) int {
+	n := e.n
+	dist, parent, done, order := e.dj.dist, e.dj.parent, e.dj.done, e.dj.order
+	for i := 0; i < n; i++ {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+		done[i] = false
+	}
+	dist[src] = 0
+	count := 0
+	for iter := 0; iter < n; iter++ {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 {
+			return count // remaining nodes unreachable
+		}
+		done[u] = true
+		order[count] = u
+		count++
+		du := dist[u]
+		row := e.dist[u]
+		g.EachNeighbor(u, func(v int) {
+			if nd := du + row[v]; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = int32(u)
+			}
+		})
+	}
+	return count
+}
+
+// RouteCost returns Σ_r t_r·L_r over all unordered PoP pairs: the
+// route-length-weighted traffic of equation (1) in the paper. It uses the
+// same routing as Cost, so k2·Σℓ_i·w_i == k2·RouteCost (a property the
+// tests verify). Returns +Inf for disconnected graphs.
+func (e *Evaluator) RouteCost(g *graph.Graph) float64 {
+	n := e.n
+	var total float64
+	for s := 0; s < n; s++ {
+		e.dijkstra(g, s)
+		for d := s + 1; d < n; d++ {
+			if math.IsInf(e.dj.dist[d], 1) {
+				return math.Inf(1)
+			}
+			total += e.tm.Demand[s][d] * e.dj.dist[d]
+		}
+	}
+	return total
+}

@@ -1,0 +1,154 @@
+package cost
+
+// Property-style invariant tests for the evaluator: relabeling symmetry,
+// scaling behaviour and routing-tree structure.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/traffic"
+)
+
+// TestCostPermutationInvariance: relabeling the PoPs (and permuting the
+// context consistently) must not change the cost — the objective is a
+// function of the embedded network, not of node identities.
+func TestCostPermutationInvariance(t *testing.T) {
+	p := Params{K0: 10, K1: 1, K2: 3e-4, K3: 12}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(10)
+		pts := geom.NewUniform().Sample(n, rng)
+		pops := traffic.NewExponential().Sample(n, rng)
+		g := randomConnected(rng, n, 0.3, geom.DistanceMatrix(pts))
+
+		perm := rng.Perm(n)
+		permPts := make([]geom.Point, n)
+		permPops := make([]float64, n)
+		for i := 0; i < n; i++ {
+			permPts[perm[i]] = pts[i]
+			permPops[perm[i]] = pops[i]
+		}
+		e1 := MustNewEvaluator(geom.DistanceMatrix(pts), traffic.Gravity(pops, 1), p)
+		e2 := MustNewEvaluator(geom.DistanceMatrix(permPts), traffic.Gravity(permPops, 1), p)
+		c1 := e1.Cost(g)
+		c2 := e2.Cost(g.Permute(perm))
+		if math.Abs(c1-c2) > 1e-9*math.Max(1, c1) {
+			t.Fatalf("seed %d: cost changed under relabeling: %v vs %v", seed, c1, c2)
+		}
+	}
+}
+
+// TestTrafficScalingOnlyScalesBandwidth: multiplying the traffic matrix by
+// s multiplies exactly the bandwidth component by s.
+func TestTrafficScalingOnlyScalesBandwidth(t *testing.T) {
+	p := Params{K0: 10, K1: 1, K2: 3e-4, K3: 5}
+	rng := rand.New(rand.NewSource(3))
+	pts := geom.NewUniform().Sample(12, rng)
+	pops := traffic.NewExponential().Sample(12, rng)
+	g := randomConnected(rng, 12, 0.25, geom.DistanceMatrix(pts))
+
+	e1 := MustNewEvaluator(geom.DistanceMatrix(pts), traffic.Gravity(pops, 1), p)
+	e5 := MustNewEvaluator(geom.DistanceMatrix(pts), traffic.Gravity(pops, 5), p)
+	ev1, ev5 := e1.Evaluate(g), e5.Evaluate(g)
+	if math.Abs(ev5.BandwidthCost-5*ev1.BandwidthCost) > 1e-9*math.Max(1, ev5.BandwidthCost) {
+		t.Errorf("bandwidth cost %v != 5× %v", ev5.BandwidthCost, ev1.BandwidthCost)
+	}
+	if ev5.ExistenceCost != ev1.ExistenceCost || ev5.LengthCost != ev1.LengthCost || ev5.NodeCost != ev1.NodeCost {
+		t.Error("non-bandwidth components changed under traffic scaling")
+	}
+}
+
+// TestRoutingFormsTree: each source's parent pointers must form a tree
+// rooted at the source, spanning all reachable nodes, with monotone
+// distances along parent chains.
+func TestRoutingFormsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := geom.NewUniform().Sample(15, rng)
+	pops := traffic.NewExponential().Sample(15, rng)
+	e := MustNewEvaluator(geom.DistanceMatrix(pts), traffic.Gravity(pops, 1), DefaultParams())
+	g := randomConnected(rng, 15, 0.2, e.Dist())
+	ev := e.Evaluate(g)
+	for s := 0; s < 15; s++ {
+		for v := 0; v < 15; v++ {
+			if v == s {
+				if ev.Routing.Parent[s][v] != -1 {
+					t.Fatalf("source %d has a parent", s)
+				}
+				continue
+			}
+			p := int(ev.Routing.Parent[s][v])
+			if p < 0 {
+				t.Fatalf("node %d unreachable from %d in connected graph", v, s)
+			}
+			if !g.HasEdge(p, v) {
+				t.Fatalf("parent edge (%d,%d) not in graph", p, v)
+			}
+			if ev.Routing.PathDist[s][p] >= ev.Routing.PathDist[s][v] {
+				t.Fatalf("distance not increasing along tree: d[%d]=%v >= d[%d]=%v",
+					p, ev.Routing.PathDist[s][p], v, ev.Routing.PathDist[s][v])
+			}
+			// Path reconstruction terminates and starts at s.
+			path := ev.Routing.Path(s, v)
+			if path[0] != s || path[len(path)-1] != v {
+				t.Fatalf("path endpoints wrong: %v", path)
+			}
+		}
+	}
+}
+
+// TestCapacitySubadditivity: on any graph, each link's load is bounded by
+// the total demand, and total carried volume Σ w_i ≥ total demand (every
+// pair crosses at least one link).
+func TestCapacityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(8)
+		pts := geom.NewUniform().Sample(n, rng)
+		pops := traffic.NewExponential().Sample(n, rng)
+		tm := traffic.Gravity(pops, 1)
+		e := MustNewEvaluator(geom.DistanceMatrix(pts), tm, DefaultParams())
+		g := randomConnected(rng, n, 0.25, e.Dist())
+		ev := e.Evaluate(g)
+		var totalDemand float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				totalDemand += tm.Demand[i][j]
+			}
+		}
+		var sumW float64
+		for _, w := range ev.Capacities {
+			if w > totalDemand+1e-9 {
+				t.Fatalf("capacity %v exceeds total demand %v", w, totalDemand)
+			}
+			sumW += w
+		}
+		if sumW < totalDemand-1e-6 {
+			t.Fatalf("Σw %v below total demand %v (some pair uncarried?)", sumW, totalDemand)
+		}
+	}
+}
+
+// TestRouteCostLowerBound: Σ t_r·L_r is bounded below by routing every
+// pair on its direct geometric distance (the clique's route cost).
+func TestRouteCostLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := geom.NewUniform().Sample(12, rng)
+	pops := traffic.NewExponential().Sample(12, rng)
+	tm := traffic.Gravity(pops, 1)
+	e := MustNewEvaluator(geom.DistanceMatrix(pts), tm, DefaultParams())
+	var direct float64
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			direct += tm.Demand[i][j] * e.Dist()[i][j]
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnected(rng, 12, 0.25, e.Dist())
+		if rc := e.RouteCost(g); rc < direct-1e-6 {
+			t.Fatalf("route cost %v below geometric lower bound %v", rc, direct)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinkCostFunc prices a single link from its physical length and the
+// bandwidth it must carry. The paper's model is linear
+// (k0 + k1·ℓ + k2·ℓ·w) and notes that "real costs have discontinuities
+// and non-linearities (e.g., a discount on the per-unit-length cost when
+// buying longer links)"; COLD's optimization framework absorbs such
+// models unchanged — this hook demonstrates that extensibility (§2).
+type LinkCostFunc func(length, bandwidth float64) float64
+
+// Linear returns the paper's linear link cost for the given parameters
+// (equivalent to the evaluator's built-in model).
+func Linear(p Params) LinkCostFunc {
+	return func(l, w float64) float64 {
+		return p.K0 + p.K1*l + p.K2*l*w
+	}
+}
+
+// LengthDiscount returns a link cost whose per-unit-length rates (both k1
+// and k2) are discounted by the given factor for the portion of the link
+// beyond threshold — the "discount when buying longer links" the paper
+// mentions. discount must lie in [0,1]: 1 reproduces the linear model, 0
+// makes length beyond the threshold free.
+func LengthDiscount(p Params, threshold, discount float64) (LinkCostFunc, error) {
+	if threshold < 0 || math.IsNaN(threshold) {
+		return nil, fmt.Errorf("cost: discount threshold %v must be non-negative", threshold)
+	}
+	if discount < 0 || discount > 1 || math.IsNaN(discount) {
+		return nil, fmt.Errorf("cost: discount factor %v outside [0,1]", discount)
+	}
+	return func(l, w float64) float64 {
+		billed := l
+		if l > threshold {
+			billed = threshold + (l-threshold)*discount
+		}
+		return p.K0 + p.K1*billed + p.K2*billed*w
+	}, nil
+}
+
+// SteppedBandwidth returns a link cost where capacity is bought in whole
+// modules of the given granularity (wavelengths, line cards): the k2 term
+// bills ceil(w/granularity)·granularity instead of w. granularity must be
+// positive.
+func SteppedBandwidth(p Params, granularity float64) (LinkCostFunc, error) {
+	if granularity <= 0 || math.IsNaN(granularity) {
+		return nil, fmt.Errorf("cost: module granularity %v must be positive", granularity)
+	}
+	return func(l, w float64) float64 {
+		modules := math.Ceil(w / granularity)
+		return p.K0 + p.K1*l + p.K2*l*modules*granularity
+	}, nil
+}
+
+// SetLinkCostFunc replaces the evaluator's built-in linear link cost with
+// fn (the k3 node cost still applies). Passing nil restores the linear
+// model. The memoization cache is cleared, since cached costs were
+// computed under the previous model.
+func (e *Evaluator) SetLinkCostFunc(fn LinkCostFunc) {
+	e.linkCost = fn
+	e.cache = make(map[uint64][]cacheEntry)
+}

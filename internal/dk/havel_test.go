@@ -1,0 +1,125 @@
+package dk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/networksynth/cold/internal/randgraph"
+)
+
+func TestGraphical(t *testing.T) {
+	tests := []struct {
+		degrees []int
+		want    bool
+	}{
+		{[]int{1, 1}, true},                // single edge
+		{[]int{2, 2, 2}, true},             // triangle
+		{[]int{3, 3, 3, 3}, true},          // K4
+		{[]int{1, 1, 1}, false},            // odd sum
+		{[]int{3, 1, 1, 1}, true},          // star
+		{[]int{4, 1, 1, 1}, false},         // degree exceeds n-1 partners
+		{[]int{0, 0, 0}, true},             // empty graph
+		{[]int{3, 3, 1, 1}, false},         // Erdős–Gallai violation
+		{[]int{2, 2, 2, 2, 2}, true},       // C5
+		{[]int{5, 1, 1, 1, 1, 1}, true},    // star(6)
+		{[]int{-1, 1}, false},              // negative
+		{[]int{6, 1, 1, 1, 1, 1}, false},   // degree out of range
+		{[]int{3, 2, 2, 2, 1, 0}, true},    // mixed with isolated node
+		{[]int{4, 4, 4, 4, 4, 4, 4}, true}, // even sum, dense
+	}
+	for _, tt := range tests {
+		if got := Graphical(tt.degrees); got != tt.want {
+			t.Errorf("Graphical(%v) = %v, want %v", tt.degrees, got, tt.want)
+		}
+	}
+}
+
+func TestFromDegreeSequenceExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seqs := [][]int{
+		{2, 2, 2},
+		{3, 1, 1, 1},
+		{3, 3, 2, 2, 2, 2},
+		{1, 1, 2, 2, 3, 3, 4, 4},
+		{0, 1, 1, 2, 2},
+	}
+	for _, want := range seqs {
+		g, err := FromDegreeSequence(want, 0, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", want, err)
+		}
+		got := g.Degrees()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sequence %v realized as %v", want, got)
+			}
+		}
+	}
+}
+
+func TestFromDegreeSequenceErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, bad := range [][]int{{1, 1, 1}, {4, 1, 1, 1}, {-1, 1}, {3, 3, 1, 1}} {
+		if _, err := FromDegreeSequence(bad, 0, rng); err == nil {
+			t.Errorf("sequence %v should fail", bad)
+		}
+	}
+}
+
+func TestFromDegreeSequenceRandomized(t *testing.T) {
+	// Randomized realizations keep the per-node degrees exactly and
+	// usually differ from the deterministic one.
+	rng := rand.New(rand.NewSource(3))
+	want := []int{4, 3, 3, 2, 2, 2, 2, 1, 1}
+	det, err := FromDegreeSequence(want, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for trial := 0; trial < 10; trial++ {
+		g, err := FromDegreeSequence(want, 200, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := g.Degrees()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("randomized realization broke degrees: %v", got)
+			}
+		}
+		if !g.Equal(det) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("rewiring never changed the realization")
+	}
+}
+
+func TestFromObservedGraphRoundTrip(t *testing.T) {
+	// Degrees of a real generated graph must be graphical and
+	// reconstructible — the 1K half of a dK-series pipeline.
+	rng := rand.New(rand.NewSource(4))
+	src := randgraph.ER(40, 0.15, rng)
+	degrees := src.Degrees()
+	if !Graphical(degrees) {
+		t.Fatal("observed degree sequence reported non-graphical")
+	}
+	g, err := FromDegreeSequence(degrees, DefaultRewireAttempts(src), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal1K(src, g) {
+		t.Fatal("reconstruction changed the 1K distribution")
+	}
+	// Sorted sequences identical.
+	a, b := append([]int(nil), degrees...), g.Degrees()
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sorted degree sequences differ")
+		}
+	}
+}

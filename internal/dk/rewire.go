@@ -1,0 +1,95 @@
+package dk
+
+import (
+	"math/rand"
+
+	"github.com/networksynth/cold/internal/graph"
+)
+
+// Random1K returns a 1K-random rewiring of g: a graph sampled from the
+// graphs with g's exact degree sequence, via double-edge swaps
+// (a,b),(c,d) → (a,c),(b,d). This is how dK-series generators produce
+// "1K-graphs"; attempts that would create self loops or multi-edges are
+// skipped. The result may be disconnected — one of the shortcomings §2 of
+// the paper holds against degree-based generation.
+func Random1K(g *graph.Graph, attempts int, rng *rand.Rand) *graph.Graph {
+	out := g.Clone()
+	edges := out.Edges()
+	if len(edges) < 2 {
+		return out
+	}
+	for t := 0; t < attempts; t++ {
+		i, j := rng.Intn(len(edges)), rng.Intn(len(edges))
+		if i == j {
+			continue
+		}
+		e1, e2 := edges[i], edges[j]
+		a, b, c, d := e1.I, e1.J, e2.I, e2.J
+		// Optionally flip one edge's orientation so both pairings are
+		// reachable.
+		if rng.Intn(2) == 0 {
+			c, d = d, c
+		}
+		// Proposed: (a,c), (b,d).
+		if a == c || b == d || out.HasEdge(a, c) || out.HasEdge(b, d) {
+			continue
+		}
+		out.RemoveEdge(a, b)
+		out.RemoveEdge(c, d)
+		out.AddEdge(a, c)
+		out.AddEdge(b, d)
+		edges[i] = orient(a, c)
+		edges[j] = orient(b, d)
+	}
+	return out
+}
+
+// Random2K returns a 2K-random rewiring of g: double-edge swaps restricted
+// to endpoint pairs of equal degree, which preserve the full joint degree
+// matrix (and therefore assortativity and the Li et al. s-metric) while
+// shuffling higher-order structure such as clustering.
+func Random2K(g *graph.Graph, attempts int, rng *rand.Rand) *graph.Graph {
+	out := g.Clone()
+	degs := out.Degrees()
+	edges := out.Edges()
+	if len(edges) < 2 {
+		return out
+	}
+	for t := 0; t < attempts; t++ {
+		i, j := rng.Intn(len(edges)), rng.Intn(len(edges))
+		if i == j {
+			continue
+		}
+		e1, e2 := edges[i], edges[j]
+		a, b, c, d := e1.I, e1.J, e2.I, e2.J
+		if rng.Intn(2) == 0 {
+			c, d = d, c
+		}
+		// Swapping b and d between the edges preserves the 2K only when
+		// deg(b) == deg(d): (a,b),(c,d) → (a,d),(c,b).
+		if degs[b] != degs[d] {
+			continue
+		}
+		if a == d || c == b || out.HasEdge(a, d) || out.HasEdge(c, b) {
+			continue
+		}
+		out.RemoveEdge(a, b)
+		out.RemoveEdge(c, d)
+		out.AddEdge(a, d)
+		out.AddEdge(c, b)
+		edges[i] = orient(a, d)
+		edges[j] = orient(c, b)
+	}
+	return out
+}
+
+// DefaultRewireAttempts returns a swap budget that mixes well in practice:
+// ~10 proposals per edge.
+func DefaultRewireAttempts(g *graph.Graph) int { return 10 * g.NumEdges() }
+
+func orient(i, j int) graph.Edge {
+	if i < j {
+		return graph.Edge{I: i, J: j}
+	}
+	return graph.Edge{I: j, J: i}
+}

@@ -1,0 +1,138 @@
+package dk
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/metrics"
+	"github.com/networksynth/cold/internal/randgraph"
+)
+
+func TestRandom1KPreservesDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := randgraph.ER(25, 0.2, rng)
+		h := Random1K(g, DefaultRewireAttempts(g), rng)
+		if !Equal1K(g, h) {
+			t.Fatal("1K rewiring changed the degree distribution")
+		}
+		// Per-node degrees, not just the distribution.
+		dg, dh := g.Degrees(), h.Degrees()
+		for i := range dg {
+			if dg[i] != dh[i] {
+				t.Fatalf("node %d degree changed: %d -> %d", i, dg[i], dh[i])
+			}
+		}
+		if h.NumEdges() != g.NumEdges() {
+			t.Fatal("edge count changed")
+		}
+	}
+}
+
+func TestRandom1KActuallyShuffles(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randgraph.ER(25, 0.25, rng)
+	h := Random1K(g, DefaultRewireAttempts(g), rng)
+	if g.Equal(h) {
+		t.Error("rewiring left the graph identical (no mixing)")
+	}
+}
+
+func TestRandom1KNoSelfLoopsOrCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randgraph.ER(20, 0.3, rng)
+	h := Random1K(g, 5000, rng)
+	for i := 0; i < h.N(); i++ {
+		if h.HasEdge(i, i) {
+			t.Fatal("self loop created")
+		}
+	}
+	// Handshake: edges list consistent.
+	total := 0
+	for _, d := range h.Degrees() {
+		total += d
+	}
+	if total != 2*h.NumEdges() {
+		t.Fatal("handshake violated after rewiring")
+	}
+}
+
+func TestRandom2KPreserves2K(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		g := randgraph.ER(25, 0.2, rng)
+		h := Random2K(g, DefaultRewireAttempts(g), rng)
+		if !Equal2K(g, h) {
+			t.Fatal("2K rewiring changed the joint degree distribution")
+		}
+	}
+}
+
+func TestRandom2KPreservesSMetricAndAssortativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randgraph.ER(30, 0.2, rng)
+	h := Random2K(g, DefaultRewireAttempts(g), rng)
+	if metrics.SMetric(g) != metrics.SMetric(h) {
+		t.Errorf("s-metric changed: %v -> %v", metrics.SMetric(g), metrics.SMetric(h))
+	}
+	ag, ah := metrics.Assortativity(g), metrics.Assortativity(h)
+	if !(bothNaN(ag, ah) || closeEnough(ag, ah)) {
+		t.Errorf("assortativity changed: %v -> %v", ag, ah)
+	}
+}
+
+func TestRandom2KCanChangeClustering(t *testing.T) {
+	// 2K fixes degree correlations but not triangles; across seeds the
+	// clustering should move at least once.
+	rng := rand.New(rand.NewSource(6))
+	g := randgraph.ER(25, 0.3, rng)
+	base := metrics.GlobalClustering(g)
+	changed := false
+	for trial := 0; trial < 10; trial++ {
+		h := Random2K(g, DefaultRewireAttempts(g), rng)
+		if metrics.GlobalClustering(h) != base {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("2K rewiring never moved the clustering coefficient (no mixing?)")
+	}
+}
+
+func TestRewireTinyGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, _ := graph.FromEdges(3, [][2]int{{0, 1}})
+	if h := Random1K(g, 100, rng); !h.Equal(g) {
+		t.Error("single-edge graph must be unchanged")
+	}
+	if h := Random2K(g, 100, rng); !h.Equal(g) {
+		t.Error("single-edge graph must be unchanged (2K)")
+	}
+	empty := graph.New(4)
+	if h := Random1K(empty, 100, rng); h.NumEdges() != 0 {
+		t.Error("empty graph mishandled")
+	}
+}
+
+func TestRewireDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randgraph.ER(15, 0.3, rng)
+	snapshot := g.Clone()
+	Random1K(g, 1000, rng)
+	Random2K(g, 1000, rng)
+	if !g.Equal(snapshot) {
+		t.Fatal("rewiring mutated its input")
+	}
+}
+
+func bothNaN(a, b float64) bool { return a != a && b != b }
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

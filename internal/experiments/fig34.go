@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/networksynth/cold/internal/core"
+	"github.com/networksynth/cold/internal/cost"
+	"github.com/networksynth/cold/internal/heuristics"
+	"github.com/networksynth/cold/internal/stats"
+)
+
+// Fig3 reproduces Figure 3: the best cost found by each algorithm —
+// random greedy, complete, mst(-hubs), greedy attachment, the plain GA and
+// the initialised GA — across the k2 sweep, normalized by the initialised
+// GA's result, with bootstrap confidence intervals over trials. One table
+// per k3 value (the paper shows k3 = 0 and k3 = 10).
+//
+// Expected shape: every algorithm within ~1.25× of the initialised GA;
+// different greedies win in different corners; the initialised GA is never
+// beaten (it is seeded with every competitor's output).
+func Fig3(k3 float64, o Options) *Table {
+	o = o.normalize()
+	algos := []string{"random-greedy", "complete", "hub-mst", "greedy-attach", "GA", "init-GA"}
+	t := &Table{
+		Title: fmt.Sprintf("Figure 3: relative best cost vs k2 (k0=10, k1=1, k3=%g, n=%d)", k3, o.N),
+		Notes: []string{
+			fmt.Sprintf("normalized by initialised GA; mean [95%% bootstrap CI] over %d trials", o.Trials),
+		},
+		Columns: append([]string{"k2"}, algos...),
+	}
+	ciRNG := rand.New(rand.NewSource(o.Seed + 999))
+	for _, k2 := range K2Grid {
+		params := cost.Params{K0: 10, K1: 1, K2: k2, K3: k3}
+		ratios := make(map[string][]float64, len(algos))
+		for trial := 0; trial < o.Trials; trial++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(trial)*7919))
+			e := newContext(o.N, params, rng)
+			// Run the heuristics once; the very same topologies seed the
+			// initialised GA, so it is ≥ every reported competitor by
+			// construction (the paper's argument).
+			hs := heuristics.All(e, rng)
+			results := make(map[string]float64, len(algos))
+			for _, h := range hs {
+				switch h.Name {
+				case "random-greedy", "complete", "hub-mst", "greedy-attach":
+					results[h.Name] = h.Cost
+				}
+			}
+			plain := runGA(e, o, rng)
+			results["GA"] = plain.BestCost
+			// The initialised GA is seeded with *every* competitor's
+			// output — the greedy heuristics and the plain GA — so it
+			// outperforms all of them over all parameter ranges, the
+			// paper's argument in §5.
+			s := gaSettings(o)
+			s.Seeds = append(heuristics.Graphs(hs), plain.Best)
+			init, err := core.Run(e, s, rng)
+			if err != nil {
+				panic(err)
+			}
+			base := init.BestCost
+			results["init-GA"] = base
+			for name, c := range results {
+				ratios[name] = append(ratios[name], c/base)
+			}
+		}
+		row := []string{fmtF(k2)}
+		for _, name := range algos {
+			ci := stats.BootstrapMeanCI(ratios[name], 0.95, o.Bootstrap, ciRNG)
+			row = append(row, fmtCI(ci.Mean, ci.Lo, ci.Hi))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig4 reproduces Figure 4: GA runtime versus the number of PoPs with
+// T = M = 100, fitting the cubic coefficient. The paper reports O(n³MT)
+// growth from the all-pairs shortest-path evaluation; the absolute
+// coefficient is hardware- and language-specific, so only the shape is
+// comparable.
+func Fig4(sizes []int, o Options) *Table {
+	o = o.normalize()
+	if len(sizes) == 0 {
+		sizes = []int{10, 20, 40, 60, 80}
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 4: GA runtime vs n (T=%d, M=%d)", o.GAGens, o.GAPop),
+		Columns: []string{"n", "seconds", "seconds/n^3"},
+		Notes:   []string{"paper: cubic growth, coefficient 2.3e-5 s/n^3 on 2014 hardware (Matlab)"},
+	}
+	var coeffs []float64
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(o.Seed))
+		e := newContext(n, cost.Params{K0: 10, K1: 1, K2: 1e-4, K3: 10}, rng)
+		start := time.Now()
+		runGA(e, o, rng)
+		secs := time.Since(start).Seconds()
+		c := secs / float64(n*n*n)
+		coeffs = append(coeffs, c)
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), fmt.Sprintf("%.3f", secs), fmt.Sprintf("%.3g", c)})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("fitted coefficient (mean of s/n^3): %.3g", stats.Mean(coeffs)))
+	return t
+}
+
+// Brute reproduces the §5 validation: on small contexts the (initialised)
+// GA finds the brute-force optimum.
+func Brute(o Options) *Table {
+	o = o.normalize()
+	n := 6
+	t := &Table{
+		Title:   fmt.Sprintf("§5 validation: GA vs brute-force optimum (n=%d)", n),
+		Columns: []string{"params", "seed", "optimum", "GA", "init-GA", "GA=opt", "init=opt"},
+	}
+	paramSets := []cost.Params{
+		{K0: 10, K1: 1, K2: 1e-4, K3: 0},
+		{K0: 10, K1: 1, K2: 1.6e-3, K3: 0},
+		{K0: 10, K1: 1, K2: 1e-4, K3: 50},
+	}
+	for _, p := range paramSets {
+		for trial := 0; trial < minInt(o.Trials, 5); trial++ {
+			rng := rand.New(rand.NewSource(o.Seed + int64(trial)))
+			e := newContext(n, p, rng)
+			opt, err := heuristics.BruteForce(e)
+			if err != nil {
+				panic(err)
+			}
+			ga := runGA(e, o, rng).BestCost
+			init := runInitGA(e, o, rng).BestCost
+			t.Rows = append(t.Rows, []string{
+				p.String(), fmt.Sprint(trial),
+				fmtF(opt.Cost), fmtF(ga), fmtF(init),
+				fmt.Sprint(ga <= opt.Cost*(1+1e-9)),
+				fmt.Sprint(init <= opt.Cost*(1+1e-9)),
+			})
+		}
+	}
+	return t
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

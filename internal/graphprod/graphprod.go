@@ -1,0 +1,170 @@
+// Package graphprod implements the graph products COLD's layered design
+// builds on: the paper generates router-level networks from the PoP level
+// "through graph products" (Parsonage et al., "Generalized graph products
+// for network design and analysis", ICNP 2011 — reference [6]/[25] of the
+// paper).
+//
+// Given a PoP-level graph G and a PoP-internal template H, a product
+// G ∘ H yields a router-level graph on V(G)×V(H). The classical products
+// (Cartesian, tensor, strong, lexicographic) differ in which cross-PoP
+// router pairs are linked; the *generalized* product lets the designer
+// state exactly which template roles attach across PoPs ("only gateway
+// routers connect to other PoPs"), which is how real templated designs
+// work.
+package graphprod
+
+import (
+	"fmt"
+
+	"github.com/networksynth/cold/internal/graph"
+)
+
+// Product selects a classical graph product.
+type Product int
+
+// Classical products.
+const (
+	// Cartesian: (u,i)~(v,j) iff (u=v and i~j) or (u~v and i=j).
+	Cartesian Product = iota
+	// Tensor (categorical): (u,i)~(v,j) iff u~v and i~j.
+	Tensor
+	// Strong: the union of Cartesian and Tensor.
+	Strong
+	// Lexicographic: (u,i)~(v,j) iff u~v, or (u=v and i~j).
+	Lexicographic
+)
+
+// String implements fmt.Stringer.
+func (p Product) String() string {
+	switch p {
+	case Cartesian:
+		return "cartesian"
+	case Tensor:
+		return "tensor"
+	case Strong:
+		return "strong"
+	case Lexicographic:
+		return "lexicographic"
+	default:
+		return fmt.Sprintf("product(%d)", int(p))
+	}
+}
+
+// NodeID returns the product-graph index of template node i inside base
+// node u, for a template of size m.
+func NodeID(u, i, m int) int { return u*m + i }
+
+// Split decomposes a product-graph index back into (base node, template
+// node).
+func Split(id, m int) (u, i int) { return id / m, id % m }
+
+// Apply returns the product g ∘ h under the chosen classical product. The
+// result has g.N()·h.N() nodes; node (u,i) is at index u*h.N()+i.
+func Apply(g, h *graph.Graph, p Product) (*graph.Graph, error) {
+	n, m := g.N(), h.N()
+	out := graph.New(n * m)
+	switch p {
+	case Cartesian, Tensor, Strong, Lexicographic:
+	default:
+		return nil, fmt.Errorf("graphprod: unknown product %d", int(p))
+	}
+	// Intra-PoP copies of H (all products except pure tensor).
+	if p != Tensor {
+		for u := 0; u < n; u++ {
+			for _, e := range h.Edges() {
+				out.AddEdge(NodeID(u, e.I, m), NodeID(u, e.J, m))
+			}
+		}
+	}
+	// Cross-PoP edges.
+	for _, ge := range g.Edges() {
+		u, v := ge.I, ge.J
+		switch p {
+		case Cartesian:
+			for i := 0; i < m; i++ {
+				out.AddEdge(NodeID(u, i, m), NodeID(v, i, m))
+			}
+		case Tensor:
+			for _, he := range h.Edges() {
+				out.AddEdge(NodeID(u, he.I, m), NodeID(v, he.J, m))
+				out.AddEdge(NodeID(u, he.J, m), NodeID(v, he.I, m))
+			}
+		case Strong:
+			for i := 0; i < m; i++ {
+				out.AddEdge(NodeID(u, i, m), NodeID(v, i, m))
+			}
+			for _, he := range h.Edges() {
+				out.AddEdge(NodeID(u, he.I, m), NodeID(v, he.J, m))
+				out.AddEdge(NodeID(u, he.J, m), NodeID(v, he.I, m))
+			}
+		case Lexicographic:
+			for i := 0; i < m; i++ {
+				for j := 0; j < m; j++ {
+					out.AddEdge(NodeID(u, i, m), NodeID(v, j, m))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Rule is a generalized-product specification: which template-role pairs
+// attach across a PoP-level link. Each entry (i, j) links role i in the
+// lower-indexed endpoint to role j in the higher-indexed endpoint (and is
+// applied symmetrically when Symmetric is set).
+type Rule struct {
+	// Inter lists the cross-PoP role pairs.
+	Inter [][2]int
+	// Symmetric additionally applies each pair in the reverse direction,
+	// which is what undirected designs usually want.
+	Symmetric bool
+}
+
+// GatewayRule returns the common design rule: only the given gateway
+// role(s) attach across PoPs, fully meshed among themselves.
+func GatewayRule(gateways ...int) Rule {
+	var r Rule
+	for _, a := range gateways {
+		for _, b := range gateways {
+			r.Inter = append(r.Inter, [2]int{a, b})
+		}
+	}
+	return r
+}
+
+// Generalized returns the generalized product of g and template h under
+// rule: every PoP becomes a copy of h, and for every PoP-level edge the
+// rule's role pairs are linked.
+func Generalized(g, h *graph.Graph, rule Rule) (*graph.Graph, error) {
+	n, m := g.N(), h.N()
+	for _, pr := range rule.Inter {
+		if pr[0] < 0 || pr[0] >= m || pr[1] < 0 || pr[1] >= m {
+			return nil, fmt.Errorf("graphprod: rule pair (%d,%d) outside template of size %d", pr[0], pr[1], m)
+		}
+	}
+	out := graph.New(n * m)
+	for u := 0; u < n; u++ {
+		for _, e := range h.Edges() {
+			out.AddEdge(NodeID(u, e.I, m), NodeID(u, e.J, m))
+		}
+	}
+	for _, ge := range g.Edges() {
+		u, v := ge.I, ge.J
+		for _, pr := range rule.Inter {
+			out.AddEdge(NodeID(u, pr[0], m), NodeID(v, pr[1], m))
+			if rule.Symmetric {
+				out.AddEdge(NodeID(u, pr[1], m), NodeID(v, pr[0], m))
+			}
+		}
+	}
+	return out, nil
+}
+
+// PoPOf returns, for each product-graph node, its PoP (base-graph) index.
+func PoPOf(productN, m int) []int {
+	out := make([]int, productN)
+	for id := range out {
+		out[id] = id / m
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package graphprod
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/networksynth/cold/internal/graph"
+)
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func randomConnected(t *testing.T, n int, p float64, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	// Chain components together deterministically.
+	comps := g.Components()
+	for k := 1; k < len(comps); k++ {
+		g.AddEdge(comps[0][0], comps[k][0])
+	}
+	return g
+}
+
+func TestNodeIDSplit(t *testing.T) {
+	m := 4
+	for u := 0; u < 5; u++ {
+		for i := 0; i < m; i++ {
+			id := NodeID(u, i, m)
+			gu, gi := Split(id, m)
+			if gu != u || gi != i {
+				t.Fatalf("Split(NodeID(%d,%d)) = (%d,%d)", u, i, gu, gi)
+			}
+		}
+	}
+}
+
+// Edge-count identities of the classical products:
+//
+//	|E(G □ H)| = n_G·|E(H)| + n_H·|E(G)|
+//	|E(G × H)| = 2·|E(G)|·|E(H)|
+//	|E(G ⊠ H)| = |E(G □ H)| + |E(G × H)|
+//	|E(G ∘ H)| = n_G·|E(H)| + n_H²·|E(G)|
+func TestProductEdgeCounts(t *testing.T) {
+	g := randomConnected(t, 7, 0.3, 1)
+	h := randomConnected(t, 4, 0.5, 2)
+	nG, nH := g.N(), h.N()
+	eG, eH := g.NumEdges(), h.NumEdges()
+
+	cart, err := Apply(g, h, Cartesian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cart.NumEdges(), nG*eH+nH*eG; got != want {
+		t.Errorf("cartesian edges = %d, want %d", got, want)
+	}
+
+	tens, err := Apply(g, h, Tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tens.NumEdges(), 2*eG*eH; got != want {
+		t.Errorf("tensor edges = %d, want %d", got, want)
+	}
+
+	strong, err := Apply(g, h, Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strong.NumEdges(), cart.NumEdges()+tens.NumEdges(); got != want {
+		t.Errorf("strong edges = %d, want %d", got, want)
+	}
+
+	lex, err := Apply(g, h, Lexicographic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := lex.NumEdges(), nG*eH+nH*nH*eG; got != want {
+		t.Errorf("lexicographic edges = %d, want %d", got, want)
+	}
+}
+
+func TestProductNodeCounts(t *testing.T) {
+	g, h := pathGraph(t, 5), pathGraph(t, 3)
+	for _, p := range []Product{Cartesian, Tensor, Strong, Lexicographic} {
+		out, err := Apply(g, h, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.N() != 15 {
+			t.Errorf("%v: n = %d, want 15", p, out.N())
+		}
+	}
+}
+
+func TestCartesianGrid(t *testing.T) {
+	// P3 □ P3 is the 3×3 grid: 12 edges, all interior degrees known.
+	g, err := Apply(pathGraph(t, 3), pathGraph(t, 3), Cartesian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 12 {
+		t.Fatalf("grid edges = %d", g.NumEdges())
+	}
+	// Center node (1,1) has degree 4.
+	if d := g.Degree(NodeID(1, 1, 3)); d != 4 {
+		t.Errorf("grid center degree = %d", d)
+	}
+	// Corner (0,0) has degree 2.
+	if d := g.Degree(NodeID(0, 0, 3)); d != 2 {
+		t.Errorf("grid corner degree = %d", d)
+	}
+}
+
+func TestCartesianOfConnectedIsConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomConnected(t, 6, 0.3, seed)
+		h := randomConnected(t, 4, 0.4, seed+50)
+		out, err := Apply(g, h, Cartesian)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.IsConnected() {
+			t.Fatalf("seed %d: Cartesian product of connected graphs disconnected", seed)
+		}
+	}
+}
+
+func TestApplyUnknownProduct(t *testing.T) {
+	if _, err := Apply(pathGraph(t, 2), pathGraph(t, 2), Product(9)); err == nil {
+		t.Error("unknown product should error")
+	}
+}
+
+func TestProductString(t *testing.T) {
+	names := map[Product]string{
+		Cartesian: "cartesian", Tensor: "tensor", Strong: "strong",
+		Lexicographic: "lexicographic", Product(9): "product(9)",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("String(%d) = %q", int(p), p.String())
+		}
+	}
+}
+
+func TestGeneralizedGatewayRule(t *testing.T) {
+	// PoP template: 0-1 are core (gateways), 2-3 access dual-homed.
+	h, _ := graph.FromEdges(4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}})
+	g := pathGraph(t, 3) // three PoPs in a line
+	out, err := Generalized(g, h, GatewayRule(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N() != 12 {
+		t.Fatalf("n = %d", out.N())
+	}
+	// Intra edges: 3 PoPs × 5 = 15; inter: 2 PoP links × 4 role pairs = 8.
+	if out.NumEdges() != 15+8 {
+		t.Fatalf("edges = %d, want 23", out.NumEdges())
+	}
+	// Access routers never connect across PoPs.
+	for u := 0; u < 3; u++ {
+		for _, role := range []int{2, 3} {
+			id := NodeID(u, role, 4)
+			out.EachNeighbor(id, func(nb int) {
+				if pu, _ := Split(nb, 4); pu != u {
+					t.Errorf("access router (%d,%d) has a cross-PoP link", u, role)
+				}
+			})
+		}
+	}
+	if !out.IsConnected() {
+		t.Error("gateway-rule product should be connected for connected G")
+	}
+}
+
+func TestGeneralizedAsymmetricRule(t *testing.T) {
+	h := pathGraph(t, 2) // roles 0 and 1
+	g := pathGraph(t, 2) // one PoP link
+	// Asymmetric: role 0 of lower endpoint to role 1 of higher endpoint.
+	out, err := Generalized(g, h, Rule{Inter: [][2]int{{0, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intra: 2; inter: 1.
+	if out.NumEdges() != 3 {
+		t.Fatalf("edges = %d", out.NumEdges())
+	}
+	if !out.HasEdge(NodeID(0, 0, 2), NodeID(1, 1, 2)) {
+		t.Error("rule edge missing")
+	}
+	if out.HasEdge(NodeID(0, 1, 2), NodeID(1, 0, 2)) {
+		t.Error("asymmetric rule created the mirrored edge")
+	}
+	// With Symmetric the mirror appears.
+	out2, err := Generalized(g, h, Rule{Inter: [][2]int{{0, 1}}, Symmetric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.HasEdge(NodeID(0, 1, 2), NodeID(1, 0, 2)) {
+		t.Error("symmetric rule missing mirrored edge")
+	}
+}
+
+func TestGeneralizedRuleValidation(t *testing.T) {
+	if _, err := Generalized(pathGraph(t, 2), pathGraph(t, 2), Rule{Inter: [][2]int{{0, 5}}}); err == nil {
+		t.Error("out-of-range rule should error")
+	}
+}
+
+func TestGeneralizedEqualsCartesianForIdentityRule(t *testing.T) {
+	// Rule {(i,i) for all i} reproduces the Cartesian product.
+	g := randomConnected(t, 5, 0.4, 3)
+	h := randomConnected(t, 3, 0.6, 4)
+	var rule Rule
+	for i := 0; i < h.N(); i++ {
+		rule.Inter = append(rule.Inter, [2]int{i, i})
+	}
+	gen, err := Generalized(g, h, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cart, err := Apply(g, h, Cartesian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gen.Equal(cart) {
+		t.Error("identity rule should reproduce the Cartesian product")
+	}
+}
+
+func TestPoPOf(t *testing.T) {
+	pops := PoPOf(6, 2)
+	want := []int{0, 0, 1, 1, 2, 2}
+	for i := range want {
+		if pops[i] != want[i] {
+			t.Fatalf("PoPOf = %v", pops)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package interas implements the multi-AS extension sketched in §2 of the
+// COLD paper: "Imagine the PoPs are in fact cities, in which different
+// networks may have presence. PoP interconnects in same cities could then
+// be assigned a cost, and we could run the optimization with respect to
+// this additional cost."
+//
+// A shared set of cities (locations + populations) forms the context.
+// Each AS has a random footprint over those cities and designs its own
+// PoP-level network with COLD. AS pairs then interconnect at shared
+// cities: each interconnect costs PeeringCost, so pairs peer at the
+// smallest set of shared cities that carries their inter-AS gravity
+// traffic — preferring the highest-population shared cities, which is
+// where real networks meet.
+package interas
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	cold "github.com/networksynth/cold"
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/traffic"
+)
+
+// Config describes a multi-AS synthesis run.
+type Config struct {
+	// Cities is the number of cities in the shared geography (>= 2).
+	Cities int
+
+	// ASes is the number of networks to synthesize (>= 1).
+	ASes int
+
+	// PresenceProb is the probability an AS has a PoP in a city. Every
+	// AS is guaranteed at least two cities. Zero means 0.6.
+	PresenceProb float64
+
+	// Params are the intra-AS design costs (zero value: cold defaults).
+	Params cold.Params
+
+	// PeeringCost is the cost of one interconnect; with the gravity
+	// traffic between two ASes fixed, it determines how many shared
+	// cities a pair peers at: interconnects are added while
+	// interAStraffic/(k+1) ... heuristically, while the traffic share a
+	// new interconnect would offload exceeds PeeringCost. Zero means 1e5.
+	PeeringCost float64
+
+	// MaxPeeringsPerPair caps interconnects per AS pair. Zero means 3.
+	MaxPeeringsPerPair int
+
+	Seed int64
+
+	// Optimizer scales the per-AS GA (zero value: 100/100).
+	Optimizer cold.OptimizerSpec
+}
+
+// AS is one synthesized network and its footprint.
+type AS struct {
+	// Cities maps the AS's local PoP indices to global city indices.
+	Cities []int
+	// Network is the AS's PoP-level network; PoP i sits in city
+	// Cities[i].
+	Network *cold.Network
+}
+
+// Peering is one interconnect between two ASes at a shared city.
+type Peering struct {
+	A, B int // AS indices, A < B
+	City int // global city index
+}
+
+// Internet is the multi-AS result.
+type Internet struct {
+	CityPoints  []cold.Point
+	Populations []float64
+	ASes        []AS
+	Peerings    []Peering
+}
+
+// Generate synthesizes the multi-AS topology.
+func Generate(cfg Config) (*Internet, error) {
+	if cfg.Cities < 2 {
+		return nil, fmt.Errorf("interas: need >= 2 cities, got %d", cfg.Cities)
+	}
+	if cfg.ASes < 1 {
+		return nil, fmt.Errorf("interas: need >= 1 AS, got %d", cfg.ASes)
+	}
+	presence := cfg.PresenceProb
+	if presence == 0 {
+		presence = 0.6
+	}
+	if presence < 0 || presence > 1 {
+		return nil, fmt.Errorf("interas: presence probability %v outside [0,1]", presence)
+	}
+	peerCost := cfg.PeeringCost
+	if peerCost == 0 {
+		peerCost = 1e5
+	}
+	maxPeer := cfg.MaxPeeringsPerPair
+	if maxPeer == 0 {
+		maxPeer = 3
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Shared geography: cities and their populations.
+	pts := geom.NewUniform().Sample(cfg.Cities, rng)
+	pops := traffic.NewExponential().Sample(cfg.Cities, rng)
+	inet := &Internet{
+		CityPoints:  make([]cold.Point, cfg.Cities),
+		Populations: pops,
+	}
+	for i, p := range pts {
+		inet.CityPoints[i] = cold.Point{X: p.X, Y: p.Y}
+	}
+
+	// Footprints and per-AS design.
+	for a := 0; a < cfg.ASes; a++ {
+		var cities []int
+		for c := 0; c < cfg.Cities; c++ {
+			if rng.Float64() < presence {
+				cities = append(cities, c)
+			}
+		}
+		for len(cities) < 2 {
+			c := rng.Intn(cfg.Cities)
+			if !containsInt(cities, c) {
+				cities = append(cities, c)
+				sort.Ints(cities)
+			}
+		}
+		fixedPts := make([]cold.Point, len(cities))
+		fixedPops := make([]float64, len(cities))
+		for i, c := range cities {
+			fixedPts[i] = inet.CityPoints[c]
+			fixedPops[i] = pops[c]
+		}
+		nw, err := cold.Generate(cold.Config{
+			NumPoPs:   len(cities),
+			Params:    cfg.Params,
+			Seed:      cfg.Seed + int64(a)*0x51f1f1 + 7,
+			Locations: cold.LocationSpec{Kind: cold.LocFixed, Points: fixedPts},
+			Traffic:   cold.TrafficSpec{Kind: cold.TrafficFixed, Populations: fixedPops},
+			Optimizer: cfg.Optimizer,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("interas: AS %d: %w", a, err)
+		}
+		inet.ASes = append(inet.ASes, AS{Cities: cities, Network: nw})
+	}
+
+	// Peering: for each AS pair, interconnect at shared cities. The
+	// inter-AS traffic between the pair is gravity over their disjoint
+	// customer populations; an interconnect is worth adding while the
+	// per-interconnect traffic share exceeds the peering cost, capped at
+	// MaxPeeringsPerPair. Highest-population shared cities first.
+	for a := 0; a < cfg.ASes; a++ {
+		for b := a + 1; b < cfg.ASes; b++ {
+			shared := intersect(inet.ASes[a].Cities, inet.ASes[b].Cities)
+			if len(shared) == 0 {
+				continue
+			}
+			sort.Slice(shared, func(i, j int) bool {
+				if pops[shared[i]] != pops[shared[j]] {
+					return pops[shared[i]] > pops[shared[j]]
+				}
+				return shared[i] < shared[j]
+			})
+			interTraffic := pairTraffic(inet.ASes[a], inet.ASes[b], pops)
+			count := 0
+			for _, c := range shared {
+				if count >= maxPeer {
+					break
+				}
+				// Marginal value of the (count+1)-th interconnect: the
+				// traffic it offloads from the others.
+				marginal := interTraffic / float64(count+1)
+				if count > 0 && marginal < peerCost {
+					break
+				}
+				inet.Peerings = append(inet.Peerings, Peering{A: a, B: b, City: c})
+				count++
+			}
+		}
+	}
+	return inet, nil
+}
+
+// pairTraffic estimates the gravity traffic exchanged between two ASes:
+// the product-sum of their footprints' populations (scaled like intra-AS
+// demand).
+func pairTraffic(a, b AS, pops []float64) float64 {
+	var sa, sb float64
+	for _, c := range a.Cities {
+		sa += pops[c]
+	}
+	for _, c := range b.Cities {
+		sb += pops[c]
+	}
+	return traffic.DefaultGravityScale * sa * sb / float64(len(pops))
+}
+
+// PeeringGraph returns the AS-level adjacency implied by the peerings.
+func (in *Internet) PeeringGraph() [][]bool {
+	k := len(in.ASes)
+	adj := make([][]bool, k)
+	for i := range adj {
+		adj[i] = make([]bool, k)
+	}
+	for _, p := range in.Peerings {
+		adj[p.A][p.B] = true
+		adj[p.B][p.A] = true
+	}
+	return adj
+}
+
+// PeeringsBetween returns the interconnect cities for one AS pair.
+func (in *Internet) PeeringsBetween(a, b int) []int {
+	if a > b {
+		a, b = b, a
+	}
+	var out []int
+	for _, p := range in.Peerings {
+		if p.A == a && p.B == b {
+			out = append(out, p.City)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: footprints within the city set,
+// peerings only at genuinely shared cities, and per-AS networks sized to
+// their footprints.
+func (in *Internet) Validate() error {
+	nCities := len(in.CityPoints)
+	for ai, as := range in.ASes {
+		if as.Network.N() != len(as.Cities) {
+			return fmt.Errorf("interas: AS %d network has %d PoPs for %d cities", ai, as.Network.N(), len(as.Cities))
+		}
+		for _, c := range as.Cities {
+			if c < 0 || c >= nCities {
+				return fmt.Errorf("interas: AS %d city %d out of range", ai, c)
+			}
+		}
+		for i, c := range as.Cities {
+			if as.Network.Points[i] != in.CityPoints[c] {
+				return fmt.Errorf("interas: AS %d PoP %d not at city %d's location", ai, i, c)
+			}
+		}
+	}
+	for _, p := range in.Peerings {
+		if p.A >= p.B {
+			return fmt.Errorf("interas: peering pair (%d,%d) not ordered", p.A, p.B)
+		}
+		if !containsInt(in.ASes[p.A].Cities, p.City) || !containsInt(in.ASes[p.B].Cities, p.City) {
+			return fmt.Errorf("interas: peering at city %d not shared by ASes %d and %d", p.City, p.A, p.B)
+		}
+	}
+	return nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func intersect(a, b []int) []int {
+	set := make(map[int]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	var out []int
+	for _, x := range b {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package interas
+
+import (
+	"testing"
+
+	cold "github.com/networksynth/cold"
+)
+
+func fastConfig() Config {
+	return Config{
+		Cities:    14,
+		ASes:      3,
+		Seed:      2,
+		Optimizer: cold.OptimizerSpec{PopulationSize: 16, Generations: 10},
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	inet, err := Generate(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inet.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inet.ASes) != 3 || len(inet.CityPoints) != 14 || len(inet.Populations) != 14 {
+		t.Fatalf("shape wrong: %d ASes, %d cities", len(inet.ASes), len(inet.CityPoints))
+	}
+	for ai, as := range inet.ASes {
+		if len(as.Cities) < 2 {
+			t.Fatalf("AS %d footprint too small: %v", ai, as.Cities)
+		}
+		st := as.Network.Stats()
+		if st.NumPoPs != len(as.Cities) {
+			t.Fatalf("AS %d network size mismatch", ai)
+		}
+	}
+}
+
+func TestPoPsInheritCityContext(t *testing.T) {
+	inet, err := Generate(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each AS PoP must sit at its city's location and use its city's
+	// population.
+	for _, as := range inet.ASes {
+		for i, c := range as.Cities {
+			if as.Network.Points[i] != inet.CityPoints[c] {
+				t.Fatal("PoP location != city location")
+			}
+			if as.Network.Populations[i] != inet.Populations[c] {
+				t.Fatal("PoP population != city population")
+			}
+		}
+	}
+}
+
+func TestPeeringsAtSharedCitiesOnly(t *testing.T) {
+	inet, err := Generate(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inet.Peerings) == 0 {
+		t.Fatal("expected some peerings with 3 ASes over 14 cities at 60% presence")
+	}
+	// Validate() checks shared-city membership; additionally check
+	// ordering and the per-pair accessor.
+	for _, p := range inet.Peerings {
+		cities := inet.PeeringsBetween(p.A, p.B)
+		found := false
+		for _, c := range cities {
+			if c == p.City {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("PeeringsBetween(%d,%d) missing city %d", p.A, p.B, p.City)
+		}
+	}
+}
+
+func TestPeeringCostControlsInterconnects(t *testing.T) {
+	cheap := fastConfig()
+	cheap.PeeringCost = 1 // nearly free: pairs peer up to the cap
+	expensive := fastConfig()
+	expensive.PeeringCost = 1e12 // only the mandatory first interconnect
+	ci, err := Generate(cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, err := Generate(expensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ci.Peerings) <= len(ei.Peerings) {
+		t.Errorf("cheap peering (%d interconnects) should exceed expensive (%d)",
+			len(ci.Peerings), len(ei.Peerings))
+	}
+	// Expensive: at most one interconnect per pair.
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if n := len(ei.PeeringsBetween(a, b)); n > 1 {
+				t.Errorf("expensive pair (%d,%d) has %d interconnects", a, b, n)
+			}
+		}
+	}
+}
+
+func TestMaxPeeringsCap(t *testing.T) {
+	cfg := fastConfig()
+	cfg.PeeringCost = 1
+	cfg.MaxPeeringsPerPair = 2
+	inet, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < cfg.ASes; a++ {
+		for b := a + 1; b < cfg.ASes; b++ {
+			if n := len(inet.PeeringsBetween(a, b)); n > 2 {
+				t.Errorf("pair (%d,%d) exceeds cap: %d", a, b, n)
+			}
+		}
+	}
+}
+
+func TestPeeringGraph(t *testing.T) {
+	inet, err := Generate(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := inet.PeeringGraph()
+	for _, p := range inet.Peerings {
+		if !adj[p.A][p.B] || !adj[p.B][p.A] {
+			t.Fatal("peering graph misses a peering")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Peerings) != len(b.Peerings) {
+		t.Fatal("peerings differ across identical runs")
+	}
+	for i := range a.Peerings {
+		if a.Peerings[i] != b.Peerings[i] {
+			t.Fatal("peering entries differ")
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := fastConfig()
+	bad.Cities = 1
+	if _, err := Generate(bad); err == nil {
+		t.Error("1 city should error")
+	}
+	bad = fastConfig()
+	bad.ASes = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("0 ASes should error")
+	}
+	bad = fastConfig()
+	bad.PresenceProb = 1.5
+	if _, err := Generate(bad); err == nil {
+		t.Error("presence > 1 should error")
+	}
+}

@@ -1,0 +1,351 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/networksynth/cold/internal/graph"
+)
+
+func mustGraph(t *testing.T, n int, edges [][2]int) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func path(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	var es [][2]int
+	for i := 0; i+1 < n; i++ {
+		es = append(es, [2]int{i, i + 1})
+	}
+	return mustGraph(t, n, es)
+}
+
+func star(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	var es [][2]int
+	for i := 1; i < n; i++ {
+		es = append(es, [2]int{0, i})
+	}
+	return mustGraph(t, n, es)
+}
+
+func ring(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	var es [][2]int
+	for i := 0; i < n; i++ {
+		es = append(es, [2]int{i, (i + 1) % n})
+	}
+	return mustGraph(t, n, es)
+}
+
+func TestAverageDegree(t *testing.T) {
+	if got := AverageDegree(graph.Complete(5)); got != 4 {
+		t.Errorf("K5 avg degree = %v", got)
+	}
+	// Tree: 2 - 2/n, as the paper notes for Figure 5's minimum.
+	n := 10
+	if got, want := AverageDegree(path(t, n)), 2-2/float64(n); math.Abs(got-want) > 1e-12 {
+		t.Errorf("tree avg degree = %v, want %v", got, want)
+	}
+	if !math.IsNaN(AverageDegree(graph.New(0))) {
+		t.Error("empty graph should be NaN")
+	}
+}
+
+func TestDegreeCV(t *testing.T) {
+	// Regular graphs have CV 0.
+	if got := DegreeCV(ring(t, 8)); got != 0 {
+		t.Errorf("ring CV = %v, want 0", got)
+	}
+	// Stars approach CVND ~ sqrt(n) asymptotics; at least verify star >
+	// path > ring ordering of hubbiness.
+	s, p := DegreeCV(star(t, 10)), DegreeCV(path(t, 10))
+	if !(s > p && p > 0) {
+		t.Errorf("CV ordering wrong: star %v, path %v", s, p)
+	}
+	// Star CVND exceeds 1 for n >= 10 (paper: CVND > 1 indicates strong
+	// hubbiness, reachable only with a hub cost).
+	if s <= 1 {
+		t.Errorf("star(10) CVND = %v, want > 1", s)
+	}
+}
+
+func TestNumHubsLeaves(t *testing.T) {
+	g := star(t, 7)
+	if NumHubs(g) != 1 || NumLeaves(g) != 6 {
+		t.Errorf("star hubs=%d leaves=%d", NumHubs(g), NumLeaves(g))
+	}
+	k := graph.Complete(5)
+	if NumHubs(k) != 5 || NumLeaves(k) != 0 {
+		t.Errorf("K5 hubs=%d leaves=%d", NumHubs(k), NumLeaves(k))
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Diameter(path(t, 6)); d != 5 {
+		t.Errorf("path diameter = %d", d)
+	}
+	if d := Diameter(ring(t, 8)); d != 4 {
+		t.Errorf("ring diameter = %d", d)
+	}
+	if d := Diameter(graph.Complete(5)); d != 1 {
+		t.Errorf("K5 diameter = %d", d)
+	}
+	if d := Diameter(star(t, 9)); d != 2 {
+		t.Errorf("star diameter = %d", d)
+	}
+	if d := Diameter(graph.New(3)); d != -1 {
+		t.Errorf("disconnected diameter = %d, want -1", d)
+	}
+	if d := Diameter(graph.New(1)); d != 0 {
+		t.Errorf("single node diameter = %d", d)
+	}
+}
+
+func TestAveragePathLength(t *testing.T) {
+	// Path 0-1-2: pairs (0,1)=1, (1,2)=1, (0,2)=2 → mean 4/3.
+	if got := AveragePathLength(path(t, 3)); math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("APL = %v", got)
+	}
+	if got := AveragePathLength(graph.Complete(6)); got != 1 {
+		t.Errorf("K6 APL = %v", got)
+	}
+	if !math.IsNaN(AveragePathLength(graph.New(3))) {
+		t.Error("disconnected APL should be NaN")
+	}
+}
+
+func TestTrianglesAndClustering(t *testing.T) {
+	if n := Triangles(graph.Complete(4)); n != 4 {
+		t.Errorf("K4 triangles = %d", n)
+	}
+	if n := Triangles(ring(t, 5)); n != 0 {
+		t.Errorf("C5 triangles = %d", n)
+	}
+	if c := GlobalClustering(graph.Complete(6)); c != 1 {
+		t.Errorf("K6 clustering = %v", c)
+	}
+	if c := GlobalClustering(path(t, 8)); c != 0 {
+		t.Errorf("tree clustering = %v", c)
+	}
+	// Triangle plus pendant: 1 triangle; wedges: deg (2,2,3,1) →
+	// 1+1+3+0 = 5; GCC = 3/5.
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if c := GlobalClustering(g); math.Abs(c-0.6) > 1e-12 {
+		t.Errorf("triangle+pendant GCC = %v, want 0.6", c)
+	}
+	if c := GlobalClustering(graph.New(5)); c != 0 {
+		t.Errorf("edgeless GCC = %v", c)
+	}
+}
+
+func TestSMetric(t *testing.T) {
+	// Path on 3: edges (0,1),(1,2), degrees 1,2,1 → s = 2 + 2 = 4.
+	if s := SMetric(path(t, 3)); s != 4 {
+		t.Errorf("path s-metric = %v", s)
+	}
+	// K3: each edge 2·2 → 12.
+	if s := SMetric(graph.Complete(3)); s != 12 {
+		t.Errorf("K3 s-metric = %v", s)
+	}
+}
+
+func TestAssortativity(t *testing.T) {
+	// Stars are maximally disassortative: r = -1 for double star, for
+	// single star r is NaN (all edges identical degrees product) — verify
+	// a known case instead: path on 4 nodes.
+	// Degrees 1,2,2,1; edges (1,2),(2,2),(2,1).
+	r := Assortativity(path(t, 4))
+	if math.IsNaN(r) {
+		t.Fatal("path assortativity NaN")
+	}
+	if r >= 0 {
+		t.Errorf("path(4) assortativity = %v, want negative", r)
+	}
+	// Ring: all degrees equal → undefined (NaN).
+	if !math.IsNaN(Assortativity(ring(t, 6))) {
+		t.Error("regular graph assortativity should be NaN")
+	}
+	if !math.IsNaN(Assortativity(path(t, 2))) {
+		t.Error("single-edge assortativity should be NaN")
+	}
+}
+
+func TestNodeBetweenness(t *testing.T) {
+	// Path 0-1-2: node 1 lies on the single (0,2) path → bc = 1; ends 0.
+	bc := NodeBetweenness(path(t, 3))
+	if bc[0] != 0 || bc[2] != 0 || bc[1] != 1 {
+		t.Errorf("path bc = %v", bc)
+	}
+	// Star: hub carries all C(n-1,2) pairs.
+	n := 6
+	bc = NodeBetweenness(star(t, n))
+	want := float64((n - 1) * (n - 2) / 2)
+	if math.Abs(bc[0]-want) > 1e-9 {
+		t.Errorf("star hub bc = %v, want %v", bc[0], want)
+	}
+	for i := 1; i < n; i++ {
+		if bc[i] != 0 {
+			t.Errorf("star leaf bc[%d] = %v", i, bc[i])
+		}
+	}
+	// Complete graph: all shortest paths are direct → all zero.
+	for _, v := range NodeBetweenness(graph.Complete(5)) {
+		if v != 0 {
+			t.Errorf("K5 bc = %v", v)
+		}
+	}
+}
+
+func TestNodeBetweennessSplitPaths(t *testing.T) {
+	// Square 0-1-2-3-0: pair (0,2) has two shortest paths through 1 and
+	// 3, each carrying 1/2; same for (1,3). Each node: 0.5.
+	bc := NodeBetweenness(ring(t, 4))
+	for i, v := range bc {
+		if math.Abs(v-0.5) > 1e-9 {
+			t.Errorf("C4 bc[%d] = %v, want 0.5", i, v)
+		}
+	}
+}
+
+func TestEdgeBetweenness(t *testing.T) {
+	g := path(t, 3)
+	eb := EdgeBetweenness(g)
+	// Edge (0,1): pairs (0,1) and (0,2) → 2. Edge (1,2): (1,2),(0,2) → 2.
+	if len(eb) != 2 || eb[0] != 2 || eb[1] != 2 {
+		t.Errorf("path edge bc = %v", eb)
+	}
+	// K3: each edge only carries its own pair.
+	for _, v := range EdgeBetweenness(graph.Complete(3)) {
+		if v != 1 {
+			t.Errorf("K3 edge bc = %v", v)
+		}
+	}
+}
+
+func TestEdgeBetweennessSum(t *testing.T) {
+	// Σ edge betweenness = Σ over pairs of path length (hops).
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(10)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		if !g.IsConnected() {
+			continue
+		}
+		var ebSum float64
+		for _, v := range EdgeBetweenness(g) {
+			ebSum += v
+		}
+		var plSum float64
+		for s := 0; s < n; s++ {
+			hops := g.BFSHops(s)
+			for d := s + 1; d < n; d++ {
+				plSum += float64(hops[d])
+			}
+		}
+		if math.Abs(ebSum-plSum) > 1e-6 {
+			t.Fatalf("edge betweenness sum %v != path length sum %v", ebSum, plSum)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := star(t, 8)
+	s := Summarize(g)
+	if s.N != 8 || s.Edges != 7 || s.Hubs != 1 || s.Leaves != 7 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Diameter != 2 || s.Clustering != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.AverageDegree-14.0/8) > 1e-12 {
+		t.Errorf("summary avg degree = %v", s.AverageDegree)
+	}
+}
+
+func TestMetricsInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(25)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		// Clustering in [0,1].
+		if c := GlobalClustering(g); c < 0 || c > 1 {
+			t.Fatalf("GCC out of range: %v", c)
+		}
+		// Hubs + leaves + isolated = n.
+		isolated := 0
+		for i := 0; i < n; i++ {
+			if g.Degree(i) == 0 {
+				isolated++
+			}
+		}
+		if NumHubs(g)+NumLeaves(g)+isolated != n {
+			t.Fatalf("hub/leaf/isolated partition broken")
+		}
+		if !g.IsConnected() {
+			continue
+		}
+		// Diameter >= average path length >= 1 for n >= 2.
+		d, apl := Diameter(g), AveragePathLength(g)
+		if float64(d) < apl {
+			t.Fatalf("diameter %d < APL %v", d, apl)
+		}
+		if apl < 1 {
+			t.Fatalf("APL %v < 1", apl)
+		}
+		// Betweenness non-negative; edge betweenness >= 1 per edge (each
+		// edge carries at least its own endpoints' pair).
+		for _, b := range NodeBetweenness(g) {
+			if b < -1e-9 {
+				t.Fatalf("negative node betweenness %v", b)
+			}
+		}
+		for _, b := range EdgeBetweenness(g) {
+			if b < 1-1e-9 {
+				t.Fatalf("edge betweenness %v < 1", b)
+			}
+		}
+	}
+}
+
+func TestSMetricInvariantUnderRelabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(15)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		h := g.Permute(rng.Perm(n))
+		if SMetric(g) != SMetric(h) {
+			t.Fatal("s-metric changed under relabeling")
+		}
+		if GlobalClustering(g) != GlobalClustering(h) {
+			t.Fatal("clustering changed under relabeling")
+		}
+	}
+}

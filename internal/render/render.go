@@ -1,0 +1,120 @@
+// Package render draws PoP-level networks as ASCII art: PoPs at their
+// scaled planar coordinates, links as Bresenham lines. It exists for the
+// command-line tools and examples — a COLD network is a geographic object,
+// and a glance at the layout often says more than a statistics table
+// (compare the paper's Figure 2).
+package render
+
+import (
+	"math"
+	"strings"
+
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/graph"
+)
+
+// nodeGlyphs label PoPs 0..61; beyond that '*' is used.
+const nodeGlyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// ASCII renders the graph onto a width×height character canvas. Points
+// are scaled to fill the canvas with a one-character margin. Edges are
+// drawn with '.', nodes with their index glyph (drawn last, so they sit on
+// top of lines). Degenerate inputs (no points, non-positive canvas)
+// return an empty string.
+func ASCII(pts []geom.Point, g *graph.Graph, width, height int) string {
+	if len(pts) == 0 || width < 3 || height < 3 {
+		return ""
+	}
+	canvas := make([][]byte, height)
+	for y := range canvas {
+		canvas[y] = []byte(strings.Repeat(" ", width))
+	}
+
+	// Scale to the canvas with a 1-char margin; guard zero extents.
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	toCell := func(p geom.Point) (int, int) {
+		x := 1 + int((p.X-minX)/spanX*float64(width-3)+0.5)
+		// Flip y: canvas row 0 is the top.
+		y := 1 + int((maxY-p.Y)/spanY*float64(height-3)+0.5)
+		return x, y
+	}
+
+	if g != nil {
+		for _, e := range g.Edges() {
+			x0, y0 := toCell(pts[e.I])
+			x1, y1 := toCell(pts[e.J])
+			line(canvas, x0, y0, x1, y1)
+		}
+	}
+	for i, p := range pts {
+		x, y := toCell(p)
+		glyph := byte('*')
+		if i < len(nodeGlyphs) {
+			glyph = nodeGlyphs[i]
+		}
+		canvas[y][x] = glyph
+	}
+
+	var b strings.Builder
+	for _, row := range canvas {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// line draws a Bresenham segment of '.' characters, leaving existing
+// non-space cells (nodes, crossings already marked) untouched only when
+// they hold node glyphs drawn later anyway — since nodes are drawn after
+// edges, we can overwrite freely here.
+func line(canvas [][]byte, x0, y0, x1, y1 int) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if y >= 0 && y < len(canvas) && x >= 0 && x < len(canvas[y]) {
+			canvas[y][x] = '.'
+		}
+		if x == x1 && y == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

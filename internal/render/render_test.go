@@ -1,0 +1,91 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/graph"
+)
+
+func TestASCIIBasics(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0.5, Y: 1}}
+	g, _ := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	out := ASCII(pts, g, 21, 11)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("height = %d, want 11", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 21 {
+			t.Fatalf("line %d width = %d, want 21", i, len(l))
+		}
+	}
+	for _, glyph := range []string{"0", "1", "2"} {
+		if !strings.Contains(out, glyph) {
+			t.Errorf("node glyph %q missing:\n%s", glyph, out)
+		}
+	}
+	if !strings.Contains(out, ".") {
+		t.Errorf("no edges drawn:\n%s", out)
+	}
+}
+
+func TestASCIINodePositions(t *testing.T) {
+	// Node 2 has the highest Y, so it must appear on an earlier (upper)
+	// line than nodes 0 and 1.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0.5, Y: 1}}
+	out := ASCII(pts, graph.New(3), 21, 11)
+	lines := strings.Split(out, "\n")
+	row := func(glyph string) int {
+		for i, l := range lines {
+			if strings.Contains(l, glyph) {
+				return i
+			}
+		}
+		return -1
+	}
+	if !(row("2") < row("0") && row("2") < row("1")) {
+		t.Errorf("vertical orientation wrong:\n%s", out)
+	}
+	// 0 left of 1.
+	if strings.Index(lines[row("0")], "0") >= strings.Index(lines[row("1")], "1") {
+		t.Errorf("horizontal orientation wrong:\n%s", out)
+	}
+}
+
+func TestASCIIDegenerate(t *testing.T) {
+	if out := ASCII(nil, nil, 20, 10); out != "" {
+		t.Error("no points should render empty")
+	}
+	if out := ASCII([]geom.Point{{X: 0.5, Y: 0.5}}, nil, 2, 2); out != "" {
+		t.Error("tiny canvas should render empty")
+	}
+	// Coincident points must not divide by zero.
+	pts := []geom.Point{{X: 0.5, Y: 0.5}, {X: 0.5, Y: 0.5}}
+	g, _ := graph.FromEdges(2, [][2]int{{0, 1}})
+	out := ASCII(pts, g, 11, 7)
+	if out == "" {
+		t.Error("coincident points mishandled")
+	}
+}
+
+func TestASCIIManyNodesGlyphOverflow(t *testing.T) {
+	n := 70
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i%10) / 10, Y: float64(i/10) / 7}
+	}
+	out := ASCII(pts, graph.New(n), 60, 30)
+	if !strings.Contains(out, "*") {
+		t.Error("overflow glyph missing for node indices >= 62")
+	}
+}
+
+func TestASCIINilGraph(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	out := ASCII(pts, nil, 11, 7)
+	if strings.Contains(out, ".") {
+		t.Error("nil graph should draw no edges")
+	}
+}

@@ -1,0 +1,160 @@
+package routerlevel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	cold "github.com/networksynth/cold"
+	"github.com/networksynth/cold/internal/stats"
+)
+
+// Probabilistic configures the random router-level expansion in the style
+// of the hierarchical/probabilistic generators the paper cites as the easy
+// route from PoP level to router level (Zegura et al., reference [5]):
+// router counts are random (traffic-scaled Poisson) and PoP internals are
+// connected Erdős–Rényi graphs, in contrast to Template's deterministic
+// design rules.
+type Probabilistic struct {
+	// RouterCapacity scales the Poisson mean: a PoP with demand d gets
+	// 1 + Poisson(d/RouterCapacity) routers. Must be positive.
+	RouterCapacity float64
+
+	// IntraEdgeProb is the ER probability for links between routers of
+	// one PoP (the random graph is repaired to be connected). Zero means
+	// 0.4.
+	IntraEdgeProb float64
+}
+
+// ExpandProbabilistic builds a random router-level network for nw. Unlike
+// Expand, the result is a sample: pass different rngs for different
+// realizations of the same PoP-level design.
+func ExpandProbabilistic(nw *cold.Network, p Probabilistic, rng *rand.Rand) (*Network, error) {
+	if p.RouterCapacity <= 0 || math.IsNaN(p.RouterCapacity) {
+		return nil, fmt.Errorf("routerlevel: router capacity %v must be positive", p.RouterCapacity)
+	}
+	edgeProb := p.IntraEdgeProb
+	if edgeProb == 0 {
+		edgeProb = 0.4
+	}
+	if edgeProb < 0 || edgeProb > 1 {
+		return nil, fmt.Errorf("routerlevel: intra edge probability %v outside [0,1]", edgeProb)
+	}
+	n := nw.N()
+	if n == 0 {
+		return nil, fmt.Errorf("routerlevel: empty network")
+	}
+	out := &Network{CoreOf: make([][]int, n)}
+
+	demand := make([]float64, n)
+	for i := 0; i < n && len(nw.Demand) == n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				demand[i] += nw.Demand[i][j]
+			}
+		}
+	}
+
+	for pop := 0; pop < n; pop++ {
+		count := 1 + stats.Poisson(demand[pop]/p.RouterCapacity, rng)
+		ids := make([]int, count)
+		for k := range ids {
+			role := RoleAccess
+			if k == 0 {
+				role = RoleCore
+			}
+			ids[k] = len(out.Routers)
+			out.Routers = append(out.Routers, Router{ID: ids[k], PoP: pop, Role: role})
+		}
+		out.CoreOf[pop] = ids[:1]
+		// Random intra-PoP links, then a chain repair so the PoP is
+		// internally connected.
+		linked := make([]bool, count)
+		linked[0] = true
+		share := demand[pop] / float64(count)
+		for a := 0; a < count; a++ {
+			for b := a + 1; b < count; b++ {
+				if rng.Float64() < edgeProb {
+					out.Links = append(out.Links, Link{A: ids[a], B: ids[b], Capacity: share})
+					linked[a] = true
+					linked[b] = true
+				}
+			}
+		}
+		// Repair: attach any untouched router to a random earlier one.
+		for k := 1; k < count; k++ {
+			if !linked[k] {
+				out.Links = append(out.Links, Link{A: ids[rng.Intn(k)], B: ids[k], Capacity: share})
+				linked[k] = true
+			}
+		}
+		// The ER part may still leave separate clumps; a spanning chain
+		// over all routers guarantees connectivity cheaply. Only add the
+		// missing consecutive links.
+		for k := 1; k < count; k++ {
+			if !hasLink(out, ids[k-1], ids[k]) && !reachableWithin(out, ids, ids[k-1], ids[k]) {
+				out.Links = append(out.Links, Link{A: ids[k-1], B: ids[k], Capacity: share})
+			}
+		}
+	}
+
+	// Inter-PoP links attach to a uniformly chosen router on each side
+	// (probabilistic generators do not distinguish gateway roles).
+	for _, l := range nw.Links {
+		ra := randomRouterIn(out, l.A, rng)
+		rb := randomRouterIn(out, l.B, rng)
+		out.Links = append(out.Links, Link{A: ra, B: rb, Capacity: l.Capacity, InterPoP: true})
+	}
+	return out, nil
+}
+
+func hasLink(rn *Network, a, b int) bool {
+	for _, l := range rn.Links {
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return true
+		}
+	}
+	return false
+}
+
+// reachableWithin reports whether b is reachable from a using only links
+// among the given router set.
+func reachableWithin(rn *Network, set []int, a, b int) bool {
+	in := make(map[int]bool, len(set))
+	for _, id := range set {
+		in[id] = true
+	}
+	adj := make(map[int][]int)
+	for _, l := range rn.Links {
+		if in[l.A] && in[l.B] {
+			adj[l.A] = append(adj[l.A], l.B)
+			adj[l.B] = append(adj[l.B], l.A)
+		}
+	}
+	seen := map[int]bool{a: true}
+	stack := []int{a}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == b {
+			return true
+		}
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return false
+}
+
+func randomRouterIn(rn *Network, pop int, rng *rand.Rand) int {
+	var ids []int
+	for _, r := range rn.Routers {
+		if r.PoP == pop {
+			ids = append(ids, r.ID)
+		}
+	}
+	return ids[rng.Intn(len(ids))]
+}

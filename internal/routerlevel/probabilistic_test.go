@@ -1,0 +1,99 @@
+package routerlevel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExpandProbabilisticBasics(t *testing.T) {
+	nw := testNetwork(t)
+	rng := rand.New(rand.NewSource(1))
+	rn, err := ExpandProbabilistic(nw, Probabilistic{RouterCapacity: 30000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !rn.IsConnected() {
+		t.Fatal("probabilistic expansion disconnected")
+	}
+	if rn.NumRouters() < nw.N() {
+		t.Fatalf("%d routers for %d PoPs", rn.NumRouters(), nw.N())
+	}
+	inter := 0
+	for _, l := range rn.Links {
+		if l.InterPoP {
+			inter++
+		}
+	}
+	if inter != len(nw.Links) {
+		t.Fatalf("%d inter-PoP router links for %d PoP links", inter, len(nw.Links))
+	}
+}
+
+func TestExpandProbabilisticIsRandom(t *testing.T) {
+	nw := testNetwork(t)
+	a, err := ExpandProbabilistic(nw, Probabilistic{RouterCapacity: 20000}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExpandProbabilistic(nw, Probabilistic{RouterCapacity: 20000}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRouters() == b.NumRouters() && len(a.Links) == len(b.Links) {
+		// Identical sizes are possible but identical everything is not
+		// expected; compare link lists.
+		same := true
+		for i := range a.Links {
+			if a.Links[i] != b.Links[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds gave identical expansions")
+		}
+	}
+}
+
+func TestExpandProbabilisticDeterministicPerSeed(t *testing.T) {
+	nw := testNetwork(t)
+	a, _ := ExpandProbabilistic(nw, Probabilistic{RouterCapacity: 20000}, rand.New(rand.NewSource(5)))
+	b, _ := ExpandProbabilistic(nw, Probabilistic{RouterCapacity: 20000}, rand.New(rand.NewSource(5)))
+	if a.NumRouters() != b.NumRouters() || len(a.Links) != len(b.Links) {
+		t.Fatal("same seed gave different expansions")
+	}
+}
+
+func TestExpandProbabilisticTrafficScales(t *testing.T) {
+	nw := testNetwork(t)
+	var fewTotal, manyTotal int
+	for seed := int64(0); seed < 10; seed++ {
+		few, err := ExpandProbabilistic(nw, Probabilistic{RouterCapacity: 1e9}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		many, err := ExpandProbabilistic(nw, Probabilistic{RouterCapacity: 5000}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fewTotal += few.NumRouters()
+		manyTotal += many.NumRouters()
+	}
+	if manyTotal <= fewTotal {
+		t.Errorf("lower capacity should mean more routers: %d vs %d", manyTotal, fewTotal)
+	}
+}
+
+func TestExpandProbabilisticErrors(t *testing.T) {
+	nw := testNetwork(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ExpandProbabilistic(nw, Probabilistic{RouterCapacity: 0}, rng); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if _, err := ExpandProbabilistic(nw, Probabilistic{RouterCapacity: 100, IntraEdgeProb: 2}, rng); err == nil {
+		t.Error("edge prob > 1 should error")
+	}
+}

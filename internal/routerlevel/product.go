@@ -1,0 +1,99 @@
+package routerlevel
+
+import (
+	"fmt"
+
+	cold "github.com/networksynth/cold"
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/graphprod"
+)
+
+// ExpandUniform builds a router-level network by the generalized graph
+// product of the PoP-level topology with a single uniform PoP template —
+// the mechanism the paper names for router-level generation ("expressed
+// through graph products", §8 / ref [6]). Every PoP becomes a copy of
+// template; inter-PoP links are wired between the given gateway roles.
+//
+// Unlike Expand, which sizes each PoP from its traffic, the uniform
+// product keeps PoPs identical — the cleanest illustration of templated
+// design, and the variant whose structural properties (node count n·m,
+// role-local cross links) are exactly predictable.
+func ExpandUniform(nw *cold.Network, template *graph.Graph, gatewayRoles []int) (*Network, error) {
+	if template.N() == 0 {
+		return nil, fmt.Errorf("routerlevel: empty template")
+	}
+	if len(gatewayRoles) == 0 {
+		return nil, fmt.Errorf("routerlevel: no gateway roles")
+	}
+	for _, r := range gatewayRoles {
+		if r < 0 || r >= template.N() {
+			return nil, fmt.Errorf("routerlevel: gateway role %d outside template of size %d", r, template.N())
+		}
+	}
+	n := nw.N()
+	if n == 0 {
+		return nil, fmt.Errorf("routerlevel: empty network")
+	}
+	pop := graph.New(n)
+	for _, l := range nw.Links {
+		pop.AddEdge(l.A, l.B)
+	}
+	product, err := graphprod.Generalized(pop, template, graphprod.GatewayRule(gatewayRoles...))
+	if err != nil {
+		return nil, err
+	}
+
+	m := template.N()
+	gateway := make(map[int]bool, len(gatewayRoles))
+	for _, r := range gatewayRoles {
+		gateway[r] = true
+	}
+	out := &Network{CoreOf: make([][]int, n)}
+	for id := 0; id < product.N(); id++ {
+		p, role := graphprod.Split(id, m)
+		r := RoleAccess
+		if gateway[role] {
+			r = RoleCore
+			out.CoreOf[p] = append(out.CoreOf[p], id)
+		}
+		out.Routers = append(out.Routers, Router{ID: id, PoP: p, Role: r})
+	}
+
+	// Capacities: intra-PoP links share the PoP demand across template
+	// edges; inter-PoP role links split the PoP link's capacity evenly
+	// over the gateway pairs.
+	demand := make([]float64, n)
+	for i := 0; i < n && len(nw.Demand) == n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				demand[i] += nw.Demand[i][j]
+			}
+		}
+	}
+	intraShare := make([]float64, n)
+	if te := template.NumEdges(); te > 0 {
+		for p := 0; p < n; p++ {
+			intraShare[p] = demand[p] / float64(te)
+		}
+	}
+	crossPairs := float64(len(gatewayRoles) * len(gatewayRoles))
+	capOf := make(map[graph.Edge]float64, len(nw.Links))
+	for _, l := range nw.Links {
+		capOf[graph.Edge{I: l.A, J: l.B}] = l.Capacity
+	}
+	for _, e := range product.Edges() {
+		pa, _ := graphprod.Split(e.I, m)
+		pb, _ := graphprod.Split(e.J, m)
+		if pa == pb {
+			out.Links = append(out.Links, Link{A: e.I, B: e.J, Capacity: intraShare[pa]})
+			continue
+		}
+		lo, hi := pa, pb
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		share := capOf[graph.Edge{I: lo, J: hi}] / crossPairs
+		out.Links = append(out.Links, Link{A: e.I, B: e.J, Capacity: share, InterPoP: true})
+	}
+	return out, nil
+}

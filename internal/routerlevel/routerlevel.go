@@ -1,0 +1,240 @@
+// Package routerlevel expands a COLD PoP-level network into a router-level
+// topology using templated PoP design — the "layered design" half of COLD
+// that the paper describes as the next step (§1, §8): PoP internals follow
+// simple templates because intra-PoP links are cheap relative to inter-PoP
+// links, so all the optimization happens at the PoP level and the router
+// level is generated structurally.
+//
+// The template mirrors textbook PoP design [2–4 in the paper]: a leaf PoP
+// with little traffic is a single router; a core PoP gets a redundant pair
+// of core routers plus as many access routers as its traffic demands, each
+// access router dual-homed to both cores. Inter-PoP links attach to core
+// routers, spreading across the pair.
+package routerlevel
+
+import (
+	"fmt"
+	"math"
+
+	cold "github.com/networksynth/cold"
+)
+
+// Role classifies a router within its PoP.
+type Role int
+
+// Router roles.
+const (
+	RoleCore   Role = iota // backbone-facing router
+	RoleAccess             // customer/traffic-facing router
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleCore:
+		return "core"
+	case RoleAccess:
+		return "access"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Router is one router of the expanded network.
+type Router struct {
+	ID   int
+	PoP  int // index of the PoP this router belongs to
+	Role Role
+}
+
+// Link is a router-level link.
+type Link struct {
+	A, B     int // router IDs
+	Capacity float64
+	InterPoP bool // true for links implementing a PoP-level link
+}
+
+// Network is a router-level topology.
+type Network struct {
+	Routers []Router
+	Links   []Link
+	// CoreOf[p] lists the core router IDs of PoP p (1 or 2 entries).
+	CoreOf [][]int
+}
+
+// Template controls the expansion.
+type Template struct {
+	// RouterCapacity is the traffic volume one access router can
+	// terminate. Each PoP gets ceil(demand/RouterCapacity) access
+	// routers. Must be positive.
+	RouterCapacity float64
+
+	// RedundantCore gives core PoPs two core routers with a cross link
+	// and dual-homed access routers; otherwise one core router.
+	RedundantCore bool
+
+	// SingleRouterLeaves collapses low-traffic leaf PoPs (one access
+	// router's worth of demand, PoP degree 1) into a single router, as
+	// real leaf PoPs often are.
+	SingleRouterLeaves bool
+}
+
+// DefaultTemplate returns a template with redundant cores and
+// single-router leaves. RouterCapacity is expressed in the same units as
+// the traffic matrix.
+func DefaultTemplate(routerCapacity float64) Template {
+	return Template{
+		RouterCapacity:     routerCapacity,
+		RedundantCore:      true,
+		SingleRouterLeaves: true,
+	}
+}
+
+// Expand builds the router-level network for nw.
+func Expand(nw *cold.Network, tpl Template) (*Network, error) {
+	if tpl.RouterCapacity <= 0 || math.IsNaN(tpl.RouterCapacity) {
+		return nil, fmt.Errorf("routerlevel: router capacity %v must be positive", tpl.RouterCapacity)
+	}
+	n := nw.N()
+	if n == 0 {
+		return nil, fmt.Errorf("routerlevel: empty network")
+	}
+	out := &Network{CoreOf: make([][]int, n)}
+
+	// Per-PoP demand (row sums of the traffic matrix) and degree.
+	demand := make([]float64, n)
+	degree := make([]int, n)
+	for _, l := range nw.Links {
+		degree[l.A]++
+		degree[l.B]++
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && len(nw.Demand) == n {
+				demand[i] += nw.Demand[i][j]
+			}
+		}
+	}
+
+	addRouter := func(pop int, role Role) int {
+		id := len(out.Routers)
+		out.Routers = append(out.Routers, Router{ID: id, PoP: pop, Role: role})
+		return id
+	}
+
+	for p := 0; p < n; p++ {
+		access := int(math.Ceil(demand[p] / tpl.RouterCapacity))
+		if access < 1 {
+			access = 1
+		}
+		if tpl.SingleRouterLeaves && degree[p] == 1 && access == 1 {
+			// Leaf PoP: one router playing both roles.
+			id := addRouter(p, RoleCore)
+			out.CoreOf[p] = []int{id}
+			continue
+		}
+		var cores []int
+		if tpl.RedundantCore {
+			c1 := addRouter(p, RoleCore)
+			c2 := addRouter(p, RoleCore)
+			cores = []int{c1, c2}
+			// Core cross link sized for half the PoP's demand (the
+			// worst-case shift if one access uplink fails).
+			out.Links = append(out.Links, Link{A: c1, B: c2, Capacity: demand[p] / 2})
+		} else {
+			cores = []int{addRouter(p, RoleCore)}
+		}
+		out.CoreOf[p] = cores
+		share := demand[p] / float64(access)
+		for a := 0; a < access; a++ {
+			ar := addRouter(p, RoleAccess)
+			for _, c := range cores {
+				out.Links = append(out.Links, Link{A: ar, B: c, Capacity: share})
+			}
+		}
+	}
+
+	// Inter-PoP links attach to core routers, alternating across the pair
+	// to spread load.
+	counter := make([]int, n)
+	for _, l := range nw.Links {
+		ca := out.CoreOf[l.A][counter[l.A]%len(out.CoreOf[l.A])]
+		cb := out.CoreOf[l.B][counter[l.B]%len(out.CoreOf[l.B])]
+		counter[l.A]++
+		counter[l.B]++
+		out.Links = append(out.Links, Link{A: ca, B: cb, Capacity: l.Capacity, InterPoP: true})
+	}
+	return out, nil
+}
+
+// NumRouters returns the router count.
+func (rn *Network) NumRouters() int { return len(rn.Routers) }
+
+// RoutersIn returns the router IDs of PoP p.
+func (rn *Network) RoutersIn(p int) []int {
+	var out []int
+	for _, r := range rn.Routers {
+		if r.PoP == p {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: link endpoints in range, intra-PoP
+// links within one PoP, inter-PoP links between core routers of linked
+// PoPs, and every PoP non-empty.
+func (rn *Network) Validate() error {
+	for _, l := range rn.Links {
+		if l.A < 0 || l.A >= len(rn.Routers) || l.B < 0 || l.B >= len(rn.Routers) {
+			return fmt.Errorf("routerlevel: link (%d,%d) out of range", l.A, l.B)
+		}
+		ra, rb := rn.Routers[l.A], rn.Routers[l.B]
+		if l.InterPoP {
+			if ra.PoP == rb.PoP {
+				return fmt.Errorf("routerlevel: inter-PoP link (%d,%d) within PoP %d", l.A, l.B, ra.PoP)
+			}
+		} else if ra.PoP != rb.PoP {
+			return fmt.Errorf("routerlevel: intra-PoP link (%d,%d) spans PoPs %d and %d", l.A, l.B, ra.PoP, rb.PoP)
+		}
+		if l.Capacity < 0 || math.IsNaN(l.Capacity) {
+			return fmt.Errorf("routerlevel: invalid capacity %v on link (%d,%d)", l.Capacity, l.A, l.B)
+		}
+	}
+	for p, cores := range rn.CoreOf {
+		if len(cores) == 0 {
+			return fmt.Errorf("routerlevel: PoP %d has no routers", p)
+		}
+	}
+	return nil
+}
+
+// IsConnected reports whether the router-level network is connected
+// (assuming the PoP-level network was).
+func (rn *Network) IsConnected() bool {
+	n := len(rn.Routers)
+	if n == 0 {
+		return false
+	}
+	adj := make([][]int, n)
+	for _, l := range rn.Links {
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == n
+}

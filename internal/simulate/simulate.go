@@ -1,0 +1,214 @@
+// Package simulate provides the downstream analyses COLD networks are
+// generated for (§1 of the paper: the topologies exist "for use in
+// simulation"): traffic-weighted latency, link utilization and single-link
+// failure analysis over a synthesized topology's shortest-path routing.
+//
+// It operates on the same context the synthesis used (distance matrix +
+// traffic matrix via a cost.Evaluator), so results are consistent with the
+// capacities the design provisioned.
+package simulate
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/networksynth/cold/internal/cost"
+	"github.com/networksynth/cold/internal/graph"
+)
+
+// LoadReport describes the utilization of one link when the network
+// carries the full traffic matrix under shortest-path routing.
+type LoadReport struct {
+	Link graph.Edge
+	Load float64 // traffic crossing the link
+}
+
+// Loads returns the per-link loads of g under e's context, ordered like
+// g.Edges(). It is the same quantity the designer provisioned as capacity
+// w_i, exposed for simulation post-processing.
+func Loads(e *cost.Evaluator, g *graph.Graph) ([]LoadReport, error) {
+	ev := e.Evaluate(g)
+	if !ev.Connected {
+		return nil, fmt.Errorf("simulate: graph is disconnected")
+	}
+	out := make([]LoadReport, len(ev.Edges))
+	for i, edge := range ev.Edges {
+		out[i] = LoadReport{Link: edge, Load: ev.Capacities[i]}
+	}
+	return out, nil
+}
+
+// LatencyStats summarizes traffic-weighted route lengths: the average
+// physical route length per unit of traffic (the quantity k2 prices, eq. 1
+// of the paper) and the hop-count average.
+type LatencyStats struct {
+	// MeanRouteLength is Σ t_r·L_r / Σ t_r over all PoP pairs.
+	MeanRouteLength float64
+	// MeanRouteHops is the traffic-weighted mean hop count.
+	MeanRouteHops float64
+	// MaxRouteLength is the longest routed physical path.
+	MaxRouteLength float64
+}
+
+// Latency computes traffic-weighted latency statistics for g.
+func Latency(e *cost.Evaluator, g *graph.Graph) (LatencyStats, error) {
+	ev := e.Evaluate(g)
+	if !ev.Connected {
+		return LatencyStats{}, fmt.Errorf("simulate: graph is disconnected")
+	}
+	tm := e.Traffic()
+	n := g.N()
+	var sumT, sumTL, sumTH, maxL float64
+	for s := 0; s < n; s++ {
+		for d := s + 1; d < n; d++ {
+			t := tm.Demand[s][d]
+			l := ev.Routing.PathDist[s][d]
+			hops := float64(len(ev.Routing.Path(s, d)) - 1)
+			sumT += t
+			sumTL += t * l
+			sumTH += t * hops
+			if l > maxL {
+				maxL = l
+			}
+		}
+	}
+	if sumT == 0 {
+		return LatencyStats{MaxRouteLength: maxL}, nil
+	}
+	return LatencyStats{
+		MeanRouteLength: sumTL / sumT,
+		MeanRouteHops:   sumTH / sumT,
+		MaxRouteLength:  maxL,
+	}, nil
+}
+
+// FailureReport describes the effect of removing one link: whether the
+// network partitions, and if not, how the rerouted traffic compares to
+// the capacities the original design provisioned.
+type FailureReport struct {
+	Failed graph.Edge
+
+	// Disconnects is true when removing the link partitions the network
+	// (all remaining fields are zero in that case). At the PoP level this
+	// is expected for leaf links; the paper notes a PoP-level link may
+	// stand for multiple physical links, so this flags *logical*
+	// single-points-of-failure.
+	Disconnects bool
+
+	// StrandedTraffic is the demand between PoP pairs separated by the
+	// failure (zero when Disconnects is false).
+	StrandedTraffic float64
+
+	// MaxOverload is the maximum, over surviving links, of
+	// (load after failure) / (capacity provisioned before failure); 1.0
+	// means some link runs exactly at its designed capacity. Only
+	// meaningful when Disconnects is false.
+	MaxOverload float64
+
+	// ReroutedTraffic is the demand whose path changed.
+	ReroutedTraffic float64
+}
+
+// SingleLinkFailures simulates every single-link failure of g and reports
+// the consequences. The baseline capacities are g's designed loads.
+func SingleLinkFailures(e *cost.Evaluator, g *graph.Graph) ([]FailureReport, error) {
+	base := e.Evaluate(g)
+	if !base.Connected {
+		return nil, fmt.Errorf("simulate: graph is disconnected")
+	}
+	capOf := make(map[graph.Edge]float64, len(base.Edges))
+	for i, edge := range base.Edges {
+		capOf[edge] = base.Capacities[i]
+	}
+	tm := e.Traffic()
+	n := g.N()
+
+	reports := make([]FailureReport, 0, len(base.Edges))
+	for _, failed := range base.Edges {
+		h := g.Clone()
+		h.RemoveEdge(failed.I, failed.J)
+		rep := FailureReport{Failed: failed}
+		if !h.IsConnected() {
+			rep.Disconnects = true
+			// Stranded demand: pairs split across the partition.
+			comps := h.Components()
+			compOf := make([]int, n)
+			for ci, comp := range comps {
+				for _, v := range comp {
+					compOf[v] = ci
+				}
+			}
+			for s := 0; s < n; s++ {
+				for d := s + 1; d < n; d++ {
+					if compOf[s] != compOf[d] {
+						rep.StrandedTraffic += tm.Demand[s][d]
+					}
+				}
+			}
+			reports = append(reports, rep)
+			continue
+		}
+		ev := e.Evaluate(h)
+		for i, edge := range ev.Edges {
+			c := capOf[edge]
+			load := ev.Capacities[i]
+			if c > 0 {
+				if r := load / c; r > rep.MaxOverload {
+					rep.MaxOverload = r
+				}
+			} else if load > 0 {
+				rep.MaxOverload = math.Inf(1)
+			}
+		}
+		// Rerouted demand: pairs whose shortest path length changed.
+		for s := 0; s < n; s++ {
+			for d := s + 1; d < n; d++ {
+				if ev.Routing.PathDist[s][d] != base.Routing.PathDist[s][d] {
+					rep.ReroutedTraffic += tm.Demand[s][d]
+				}
+			}
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// Survivability summarizes a failure sweep: the fraction of links whose
+// loss partitions the network, and the worst overload among survivable
+// failures.
+type Survivability struct {
+	Links            int
+	PartitioningCut  int     // links whose loss partitions the network
+	WorstOverload    float64 // max overload over survivable failures
+	TotalStranded    float64 // Σ stranded demand over partitioning failures
+	SurvivableShare  float64 // 1 - PartitioningCut/Links
+	MeanRerouteShare float64 // mean rerouted demand fraction over survivable failures
+}
+
+// Summarize aggregates failure reports against the context's total demand.
+func Summarize(reports []FailureReport, totalDemand float64) Survivability {
+	s := Survivability{Links: len(reports)}
+	var rerouteSum float64
+	survivable := 0
+	for _, r := range reports {
+		if r.Disconnects {
+			s.PartitioningCut++
+			s.TotalStranded += r.StrandedTraffic
+			continue
+		}
+		survivable++
+		if r.MaxOverload > s.WorstOverload {
+			s.WorstOverload = r.MaxOverload
+		}
+		if totalDemand > 0 {
+			rerouteSum += r.ReroutedTraffic / totalDemand
+		}
+	}
+	if s.Links > 0 {
+		s.SurvivableShare = 1 - float64(s.PartitioningCut)/float64(s.Links)
+	}
+	if survivable > 0 {
+		s.MeanRerouteShare = rerouteSum / float64(survivable)
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/networksynth/cold/internal/cost"
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/traffic"
+)
+
+func lineEvaluator(t *testing.T) *cost.Evaluator {
+	t.Helper()
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	tm := traffic.Gravity([]float64{1, 1, 1}, 1)
+	e, err := cost.NewEvaluator(geom.DistanceMatrix(pts), tm, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func randomEvaluator(t *testing.T, n int, seed int64) *cost.Evaluator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := geom.NewUniform().Sample(n, rng)
+	pops := traffic.NewExponential().Sample(n, rng)
+	e, err := cost.NewEvaluator(geom.DistanceMatrix(pts), traffic.Gravity(pops, 1), cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestLoadsPath(t *testing.T) {
+	e := lineEvaluator(t)
+	g, _ := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	loads, err := Loads(e, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 2 {
+		t.Fatalf("loads = %v", loads)
+	}
+	// Each link carries two unit demands (see cost tests).
+	for _, l := range loads {
+		if l.Load != 2 {
+			t.Errorf("load = %v, want 2", l.Load)
+		}
+	}
+}
+
+func TestLoadsDisconnected(t *testing.T) {
+	e := lineEvaluator(t)
+	g := graph.New(3)
+	if _, err := Loads(e, g); err == nil {
+		t.Error("disconnected should error")
+	}
+}
+
+func TestLatencyPath(t *testing.T) {
+	e := lineEvaluator(t)
+	g, _ := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	stats, err := Latency(e, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demands: (0,1)=1 len 1, (1,2)=1 len 1, (0,2)=1 len 2.
+	if math.Abs(stats.MeanRouteLength-4.0/3) > 1e-12 {
+		t.Errorf("mean route length = %v, want 4/3", stats.MeanRouteLength)
+	}
+	if math.Abs(stats.MeanRouteHops-4.0/3) > 1e-12 {
+		t.Errorf("mean hops = %v, want 4/3", stats.MeanRouteHops)
+	}
+	if stats.MaxRouteLength != 2 {
+		t.Errorf("max route length = %v, want 2", stats.MaxRouteLength)
+	}
+}
+
+func TestLatencyCliqueIsDirect(t *testing.T) {
+	e := randomEvaluator(t, 10, 1)
+	stats, err := Latency(e, graph.Complete(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats.MeanRouteHops-1) > 1e-9 {
+		t.Errorf("clique mean hops = %v, want 1", stats.MeanRouteHops)
+	}
+}
+
+func TestSingleLinkFailuresOnTree(t *testing.T) {
+	// Every tree link partitions the network.
+	e := randomEvaluator(t, 8, 2)
+	tree := graph.MST(8, e.Dist())
+	reports, err := SingleLinkFailures(e, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 7 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	var strandedTotal float64
+	for _, r := range reports {
+		if !r.Disconnects {
+			t.Fatalf("tree link %v should partition", r.Failed)
+		}
+		if r.StrandedTraffic <= 0 {
+			t.Fatalf("partition with no stranded traffic: %+v", r)
+		}
+		strandedTotal += r.StrandedTraffic
+	}
+	if strandedTotal == 0 {
+		t.Fatal("no stranded traffic recorded")
+	}
+	s := Summarize(reports, totalDemand(e))
+	if s.PartitioningCut != 7 || s.SurvivableShare != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSingleLinkFailuresOnClique(t *testing.T) {
+	// No clique link partitions; overloads appear because rerouted pairs
+	// land on links provisioned only for their own demand.
+	e := randomEvaluator(t, 8, 3)
+	k := graph.Complete(8)
+	reports, err := SingleLinkFailures(e, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(reports, totalDemand(e))
+	if s.PartitioningCut != 0 {
+		t.Fatalf("clique reported partitions: %+v", s)
+	}
+	if s.WorstOverload <= 1 {
+		t.Errorf("expected some overload > 1 after failures, got %v", s.WorstOverload)
+	}
+	if s.SurvivableShare != 1 {
+		t.Errorf("survivable share = %v", s.SurvivableShare)
+	}
+	// The failed pair's demand must have been rerouted.
+	for _, r := range reports {
+		if r.ReroutedTraffic <= 0 {
+			t.Errorf("failure %v rerouted nothing", r.Failed)
+		}
+	}
+}
+
+func TestRingFailureReroutesEverything(t *testing.T) {
+	// On a ring, a failure reroutes all pairs that used the failed link
+	// the long way; nothing strands.
+	e := randomEvaluator(t, 6, 4)
+	ring := graph.New(6)
+	for i := 0; i < 6; i++ {
+		ring.AddEdge(i, (i+1)%6)
+	}
+	reports, err := SingleLinkFailures(e, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.Disconnects {
+			t.Fatalf("ring failure %v should not partition", r.Failed)
+		}
+		if r.MaxOverload <= 0 {
+			t.Fatalf("no overload recorded for %v", r.Failed)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 100)
+	if s.Links != 0 || s.SurvivableShare != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func totalDemand(e *cost.Evaluator) float64 {
+	tm := e.Traffic()
+	var total float64
+	for i := 0; i < tm.N(); i++ {
+		for j := i + 1; j < tm.N(); j++ {
+			total += tm.Demand[i][j]
+		}
+	}
+	return total
+}
