@@ -1,0 +1,28 @@
+# Development targets. `make check` is the pre-merge gate: it vets the tree
+# and runs every test under the race detector, so the concurrent paths
+# (parallel ensemble engine, shared cost cache) are race-checked on every PR.
+
+GO ?= go
+
+.PHONY: build test vet race check bench ensemble
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# Serial-vs-parallel ensemble throughput on this machine.
+ensemble:
+	$(GO) run ./cmd/coldbench -trials 8 -pop 50 -gens 50 ensemble

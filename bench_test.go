@@ -215,6 +215,57 @@ func BenchmarkGenerate(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerateEnsemble contrasts the serial path with the worker-pool
+// ensemble engine (outputs are identical; only wall-clock changes). The
+// parallel case uses all CPUs — on a single-core box the two coincide.
+func BenchmarkGenerateEnsemble(b *testing.B) {
+	for _, par := range []int{1, 0} { // 1 = serial, 0 = GOMAXPROCS
+		name := "serial"
+		if par == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cold.Config{
+				NumPoPs:     20,
+				Seed:        1,
+				Parallelism: par,
+				Optimizer:   cold.OptimizerSpec{PopulationSize: 30, Generations: 20},
+			}
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i)
+				if _, err := cold.GenerateEnsemble(cfg, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGAParallelEval measures the GA with parallel fitness
+// evaluation (Settings.Parallelism) against the serial inner loop.
+func BenchmarkGAParallelEval(b *testing.B) {
+	for _, par := range []int{1, 4} {
+		name := "serial"
+		if par > 1 {
+			name = "workers4"
+		}
+		b.Run(name, func(b *testing.B) {
+			settings := core.DefaultSettings()
+			settings.PopulationSize = 40
+			settings.Generations = 15
+			settings.NumSaved = 4
+			settings.NumMutation = 12
+			settings.Parallelism = par
+			for i := 0; i < b.N; i++ {
+				e := benchEvaluator(b, 30, cost.DefaultParams(), int64(i))
+				if _, err := core.Run(e, settings, rand.New(rand.NewSource(int64(i)))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func sizeName(n int) string {
 	switch n {
 	case 30:

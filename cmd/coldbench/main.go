@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
+	cold "github.com/networksynth/cold"
 	"github.com/networksynth/cold/internal/experiments"
 	"github.com/networksynth/cold/internal/zoo"
 )
@@ -45,10 +47,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		return fmt.Errorf("no experiment given; try: coldbench all (options: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 brute context routers extras)")
+		return fmt.Errorf("no experiment given; try: coldbench all (options: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 brute context routers extras ensemble)")
 	}
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9", "brute", "context", "routers", "extras"}
+		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9", "brute", "context", "routers", "extras", "ensemble"}
 	}
 
 	// Shared sweeps, computed at most once.
@@ -102,6 +104,12 @@ func run(args []string, stdout io.Writer) error {
 			tables = []*experiments.Table{experiments.RouterSpread(o)}
 		case "extras":
 			tables = []*experiments.Table{experiments.ExtraFeatures(0, o)}
+		case "ensemble":
+			t, err := ensembleThroughput(o)
+			if err != nil {
+				return err
+			}
+			tables = []*experiments.Table{t}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -114,4 +122,59 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "-- %s done in %.1fs --\n\n", name, time.Since(start).Seconds())
 	}
 	return nil
+}
+
+// ensembleThroughput times the parallel ensemble engine against the serial
+// path on the same workload and verifies the outputs are identical — the
+// before/after numbers for the worker-pool GenerateEnsemble.
+func ensembleThroughput(o experiments.Options) (*experiments.Table, error) {
+	o = experiments.Normalized(o)
+	count := max(o.Trials, 8)
+	cfg := cold.Config{
+		NumPoPs: o.N,
+		Seed:    o.Seed,
+		Optimizer: cold.OptimizerSpec{
+			PopulationSize: o.GAPop,
+			Generations:    o.GAGens,
+		},
+	}
+	t := &experiments.Table{
+		Title: fmt.Sprintf("Ensemble throughput (%d networks, n=%d, M=%d, T=%d, %d CPUs)",
+			count, o.N, o.GAPop, o.GAGens, runtime.GOMAXPROCS(0)),
+		Notes:   []string{"identical seeds give identical networks at every parallelism"},
+		Columns: []string{"parallelism", "seconds", "nets/sec", "speedup"},
+	}
+	levels := []int{1}
+	if runtime.GOMAXPROCS(0) > 1 {
+		levels = append(levels, runtime.GOMAXPROCS(0))
+	}
+	var base float64
+	var serial []*cold.Network
+	for _, par := range levels {
+		c := cfg
+		c.Parallelism = par
+		start := time.Now()
+		nets, err := cold.GenerateEnsemble(c, count)
+		if err != nil {
+			return nil, err
+		}
+		secs := time.Since(start).Seconds()
+		if par == 1 {
+			base = secs
+			serial = nets
+		} else {
+			for i := range nets {
+				if nets[i].Cost.Total != serial[i].Cost.Total || len(nets[i].Links) != len(serial[i].Links) {
+					return nil, fmt.Errorf("ensemble: parallel output diverged from serial at member %d", i)
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", par),
+			fmt.Sprintf("%.2f", secs),
+			fmt.Sprintf("%.2f", float64(count)/secs),
+			fmt.Sprintf("%.2fx", base/secs),
+		})
+	}
+	return t, nil
 }

@@ -12,11 +12,12 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	cold "github.com/networksynth/cold"
 	"github.com/networksynth/cold/internal/geom"
@@ -25,13 +26,16 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels generation promptly instead of killing mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "coldgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("coldgen", flag.ContinueOnError)
 	n := fs.Int("n", 30, "number of PoPs")
 	k0 := fs.Float64("k0", 10, "link existence cost")
@@ -48,19 +52,27 @@ func run(args []string, stdout io.Writer) error {
 	pop := fs.Int("pop", 100, "GA population size M")
 	gens := fs.Int("gens", 100, "GA generations T")
 	heur := fs.Bool("heuristics", true, "seed the GA with greedy heuristic solutions (initialised GA)")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = all CPUs); results are identical for every setting")
+	progress := fs.Bool("progress", false, "report ensemble progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cfg := cold.Config{
-		NumPoPs: *n,
-		Params:  cold.Params{K0: *k0, K1: *k1, K2: *k2, K3: *k3},
-		Seed:    *seed,
+		NumPoPs:     *n,
+		Params:      cold.Params{K0: *k0, K1: *k1, K2: *k2, K3: *k3},
+		Seed:        *seed,
+		Parallelism: *parallel,
 		Optimizer: cold.OptimizerSpec{
 			PopulationSize:     *pop,
 			Generations:        *gens,
 			SeedWithHeuristics: *heur,
 		},
+	}
+	if *progress {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "coldgen: %d/%d networks\n", done, total)
+		}
 	}
 	switch *locations {
 	case "uniform":
@@ -84,7 +96,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown traffic model %q", *trafficModel)
 	}
 
-	nets, err := cold.GenerateEnsemble(cfg, *count)
+	nets, err := cold.GenerateEnsembleContext(ctx, cfg, *count)
 	if err != nil {
 		return err
 	}
@@ -110,16 +122,7 @@ func run(args []string, stdout io.Writer) error {
 }
 
 func write(nw *cold.Network, format string, w io.Writer) error {
-	switch format {
-	case "json":
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(nw)
-	case "dot":
-		return nw.WriteDOT(w)
-	case "tsv":
-		return nw.WriteTSV(w)
-	case "ascii":
+	if format == "ascii" {
 		pts := make([]geom.Point, nw.N())
 		for i, p := range nw.Points {
 			pts[i] = geom.Point{X: p.X, Y: p.Y}
@@ -130,7 +133,10 @@ func write(nw *cold.Network, format string, w io.Writer) error {
 		}
 		_, err := io.WriteString(w, render.ASCII(pts, g, 72, 32))
 		return err
-	default:
+	}
+	f, err := cold.ParseExportFormat(format)
+	if err != nil {
 		return fmt.Errorf("unknown format %q (want json, dot, tsv or ascii)", format)
 	}
+	return nw.Export(w, f)
 }

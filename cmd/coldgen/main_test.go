@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -13,7 +14,7 @@ import (
 
 func TestRunJSONToStdout(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-n", "8", "-pop", "16", "-gens", "10", "-seed", "3"}, &out)
+	err := run(context.Background(), []string{"-n", "8", "-pop", "16", "-gens", "10", "-seed", "3"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestRunJSONToStdout(t *testing.T) {
 
 func TestRunTSV(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-n", "6", "-pop", "16", "-gens", "8", "-format", "tsv"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-n", "6", "-pop", "16", "-gens", "8", "-format", "tsv"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(out.String(), "a\tb\tlength\tcapacity") {
@@ -38,7 +39,7 @@ func TestRunTSV(t *testing.T) {
 
 func TestRunDOT(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-n", "6", "-pop", "16", "-gens", "8", "-format", "dot"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-n", "6", "-pop", "16", "-gens", "8", "-format", "dot"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(out.String(), "graph cold {") {
@@ -50,7 +51,7 @@ func TestRunToFilesWithCount(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "net.json")
 	var out bytes.Buffer
-	err := run([]string{"-n", "6", "-pop", "16", "-gens", "8", "-count", "2", "-out", base}, &out)
+	err := run(context.Background(), []string{"-n", "6", "-pop", "16", "-gens", "8", "-count", "2", "-out", base}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,13 +70,13 @@ func TestRunToFilesWithCount(t *testing.T) {
 func TestRunModels(t *testing.T) {
 	for _, loc := range []string{"uniform", "clustered", "grid"} {
 		var out bytes.Buffer
-		if err := run([]string{"-n", "6", "-pop", "16", "-gens", "8", "-locations", loc, "-format", "tsv"}, &out); err != nil {
+		if err := run(context.Background(), []string{"-n", "6", "-pop", "16", "-gens", "8", "-locations", loc, "-format", "tsv"}, &out); err != nil {
 			t.Fatalf("locations %s: %v", loc, err)
 		}
 	}
 	for _, tm := range []string{"exponential", "pareto", "uniform"} {
 		var out bytes.Buffer
-		if err := run([]string{"-n", "6", "-pop", "16", "-gens", "8", "-traffic", tm, "-format", "tsv"}, &out); err != nil {
+		if err := run(context.Background(), []string{"-n", "6", "-pop", "16", "-gens", "8", "-traffic", tm, "-format", "tsv"}, &out); err != nil {
 			t.Fatalf("traffic %s: %v", tm, err)
 		}
 	}
@@ -83,16 +84,16 @@ func TestRunModels(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-format", "xml"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-format", "xml"}, &out); err == nil {
 		t.Error("unknown format should error")
 	}
-	if err := run([]string{"-locations", "mars"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-locations", "mars"}, &out); err == nil {
 		t.Error("unknown location model should error")
 	}
-	if err := run([]string{"-traffic", "flat"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-traffic", "flat"}, &out); err == nil {
 		t.Error("unknown traffic model should error")
 	}
-	if err := run([]string{"-n", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-n", "0"}, &out); err == nil {
 		t.Error("n=0 should error")
 	}
 }
@@ -100,10 +101,10 @@ func TestRunErrors(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
 	args := []string{"-n", "6", "-pop", "16", "-gens", "8", "-seed", "9", "-format", "tsv"}
-	if err := run(args, &a); err != nil {
+	if err := run(context.Background(), args, &a); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(args, &b); err != nil {
+	if err := run(context.Background(), args, &b); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -113,7 +114,7 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestRunASCII(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-n", "6", "-pop", "16", "-gens", "8", "-format", "ascii"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-n", "6", "-pop", "16", "-gens", "8", "-format", "ascii"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()

@@ -27,9 +27,13 @@
 package cold
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"github.com/networksynth/cold/internal/core"
 	"github.com/networksynth/cold/internal/cost"
@@ -140,6 +144,12 @@ type OptimizerSpec struct {
 	TrackHistory bool
 }
 
+// ProgressFunc observes long runs: it is called after each completed unit
+// of work with the number done so far and the total. Calls are serialized
+// (never concurrent), but with Parallelism > 1 they may come from a
+// goroutine other than the caller's.
+type ProgressFunc func(done, total int)
+
 // Config describes one synthesis run.
 type Config struct {
 	// NumPoPs is the number of PoPs (n). Required, >= 1.
@@ -153,9 +163,29 @@ type Config struct {
 	// identical networks.
 	Seed int64
 
+	// Parallelism is the number of worker goroutines. Zero means
+	// runtime.GOMAXPROCS(0); 1 forces fully serial execution. Ensemble
+	// generation fans whole replicas out across workers; single-network
+	// runs (Generate, GenerateVariants) parallelize the GA's fitness
+	// evaluation instead. Outputs are bit-identical for every setting —
+	// parallelism changes wall-clock time, never results.
+	Parallelism int
+
+	// Progress, when non-nil, is called after each completed ensemble
+	// member (GenerateEnsemble and GenerateEnsembleContext only).
+	Progress ProgressFunc
+
 	Locations LocationSpec
 	Traffic   TrafficSpec
 	Optimizer OptimizerSpec
+}
+
+// parallelism resolves Config.Parallelism to a concrete worker count.
+func (cfg Config) parallelism() int {
+	if cfg.Parallelism > 0 {
+		return cfg.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Link is one PoP-level link of a generated network, with everything a
@@ -239,33 +269,145 @@ func (nw *Network) Stats() Stats {
 
 // Generate synthesizes one network for a fresh random context.
 func Generate(cfg Config) (*Network, error) {
-	ctx, err := buildContext(cfg)
+	return GenerateContext(context.Background(), cfg)
+}
+
+// GenerateContext is Generate with cancellation: the GA checks ctx before
+// every generation, and on cancellation the run stops and returns
+// ctx.Err(). The result is independent of ctx — an uncancelled
+// GenerateContext matches Generate.
+func GenerateContext(ctx context.Context, cfg Config) (*Network, error) {
+	sc, err := buildContext(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return optimize(cfg, ctx)
+	return optimize(ctx, cfg, sc)
 }
 
 // GenerateEnsemble synthesizes count networks with independent contexts
 // derived from cfg.Seed. The networks are "similar but varied" in the
-// paper's sense: same design parameters, different contexts.
+// paper's sense: same design parameters, different contexts. Members are
+// generated by cfg.Parallelism workers; the result is identical for every
+// parallelism setting.
 func GenerateEnsemble(cfg Config, count int) ([]*Network, error) {
+	return GenerateEnsembleContext(context.Background(), cfg, count)
+}
+
+// GenerateEnsembleContext is GenerateEnsemble with cancellation. Ensemble
+// members are fanned out across cfg.Parallelism worker goroutines, each
+// member seeded deterministically from cfg.Seed and its replica index, and
+// results are returned in replica order — so the output is bit-identical
+// to a serial run with the same Config. On cancellation it stops promptly
+// and returns ctx.Err(); cfg.Progress (if set) observes completions.
+func GenerateEnsembleContext(ctx context.Context, cfg Config, count int) ([]*Network, error) {
 	if count < 0 {
 		return nil, fmt.Errorf("cold: negative ensemble size %d", count)
 	}
+	if count == 0 {
+		return []*Network{}, nil
+	}
+	workers := min(cfg.parallelism(), count)
 	nets := make([]*Network, count)
-	for i := range nets {
-		c := cfg
-		// Spread seeds deterministically; the golden-ratio increment
-		// avoids accidental correlation between consecutive streams.
-		c.Seed = cfg.Seed + int64(i)*0x5851F42D4C957F2D
-		nw, err := Generate(c)
-		if err != nil {
-			return nil, fmt.Errorf("cold: ensemble member %d: %w", i, err)
+
+	if workers <= 1 {
+		for i := range nets {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			nw, err := generateReplica(ctx, cfg, i)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				return nil, fmt.Errorf("cold: ensemble member %d: %w", i, err)
+			}
+			nets[i] = nw
+			if cfg.Progress != nil {
+				cfg.Progress(i+1, count)
+			}
 		}
-		nets[i] = nw
+		return nets, nil
+	}
+
+	// Worker pool: replica indices flow through jobs; each worker runs
+	// whole replicas. Per-replica seeding makes members independent of
+	// which worker (or order) computed them, and nets[i] assignment keeps
+	// the output in replica order.
+	pool, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		errIdx   int
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				nw, err := generateReplica(pool, cfg, i)
+				mu.Lock()
+				if err != nil {
+					// Cancellation errors are fallout of the pool-wide
+					// abort (or of the caller's ctx, reported as ctx.Err()
+					// below), not this replica's fault: don't let them
+					// mask the originating error.
+					if !errors.Is(err, context.Canceled) && (firstErr == nil || i < errIdx) {
+						firstErr, errIdx = err, i
+					}
+					mu.Unlock()
+					cancel() // abort remaining replicas
+					continue
+				}
+				nets[i] = nw
+				done++
+				if cfg.Progress != nil {
+					cfg.Progress(done, count)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := 0; i < count; i++ {
+		select {
+		case jobs <- i:
+		case <-pool.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("cold: ensemble member %d: %w", errIdx, firstErr)
 	}
 	return nets, nil
+}
+
+// replicaSeed derives the seed of ensemble member i. The golden-ratio
+// increment avoids accidental correlation between consecutive streams;
+// serial and parallel paths share it, so outputs never depend on
+// Parallelism.
+func replicaSeed(seed int64, i int) int64 {
+	return seed + int64(i)*0x5851F42D4C957F2D
+}
+
+// generateReplica synthesizes ensemble member i. Replicas run serially
+// inside one worker (inner GA parallelism off): with many members in
+// flight the replica level already saturates the workers, and nested
+// fan-out would only oversubscribe the scheduler.
+func generateReplica(ctx context.Context, cfg Config, i int) (*Network, error) {
+	c := cfg
+	c.Seed = replicaSeed(cfg.Seed, i)
+	c.Parallelism = 1
+	c.Progress = nil
+	return GenerateContext(ctx, c)
 }
 
 // GenerateVariants synthesizes up to count *distinct* topologies for a
@@ -277,14 +419,20 @@ func GenerateEnsemble(cfg Config, count int) ([]*Network, error) {
 // equals Generate's result. Fewer than count networks are returned when
 // the final population holds fewer distinct topologies.
 func GenerateVariants(cfg Config, count int) ([]*Network, error) {
+	return GenerateVariantsContext(context.Background(), cfg, count)
+}
+
+// GenerateVariantsContext is GenerateVariants with cancellation, with the
+// same contract as GenerateContext.
+func GenerateVariantsContext(ctx context.Context, cfg Config, count int) ([]*Network, error) {
 	if count < 1 {
 		return nil, fmt.Errorf("cold: variant count %d must be >= 1", count)
 	}
-	ctx, err := buildContext(cfg)
+	sc, err := buildContext(cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := runOptimizer(cfg, ctx)
+	res, err := runOptimizer(ctx, cfg, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -303,7 +451,7 @@ func GenerateVariants(cfg Config, count int) ([]*Network, error) {
 		if dup {
 			continue
 		}
-		nw, err := materialize(cfg, ctx, g, res.History)
+		nw, err := materialize(cfg, sc, g, res.History)
 		if err != nil {
 			return nil, err
 		}
@@ -324,15 +472,15 @@ func sameLinks(nw *Network, edges []graph.Edge) bool {
 	return true
 }
 
-// context bundles the sampled inputs of one run.
-type context struct {
+// synthContext bundles the sampled inputs of one run.
+type synthContext struct {
 	points []geom.Point
 	pops   []float64
 	tm     *traffic.Matrix
 	eval   *cost.Evaluator
 }
 
-func buildContext(cfg Config) (*context, error) {
+func buildContext(cfg Config) (*synthContext, error) {
 	n := cfg.NumPoPs
 	if n < 1 {
 		return nil, fmt.Errorf("cold: NumPoPs %d must be >= 1", n)
@@ -362,7 +510,7 @@ func buildContext(cfg Config) (*context, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &context{points: pts, pops: pops, tm: tm, eval: eval}, nil
+	return &synthContext{points: pts, pops: pops, tm: tm, eval: eval}, nil
 }
 
 func samplePoints(spec LocationSpec, n int, rng *rand.Rand) ([]geom.Point, error) {
@@ -442,16 +590,17 @@ func samplePopulations(spec TrafficSpec, n int, rng *rand.Rand) ([]float64, erro
 	}
 }
 
-func optimize(cfg Config, ctx *context) (*Network, error) {
-	res, err := runOptimizer(cfg, ctx)
+func optimize(ctx context.Context, cfg Config, sc *synthContext) (*Network, error) {
+	res, err := runOptimizer(ctx, cfg, sc)
 	if err != nil {
 		return nil, err
 	}
-	return materialize(cfg, ctx, res.Best, res.History)
+	return materialize(cfg, sc, res.Best, res.History)
 }
 
-// runOptimizer executes the GA for a built context.
-func runOptimizer(cfg Config, ctx *context) (*core.Result, error) {
+// runOptimizer executes the GA for a built context, parallelizing fitness
+// evaluation across cfg.Parallelism workers.
+func runOptimizer(ctx context.Context, cfg Config, sc *synthContext) (*core.Result, error) {
 	settings := core.DefaultSettings()
 	if cfg.Optimizer.PopulationSize != 0 {
 		settings.PopulationSize = cfg.Optimizer.PopulationSize
@@ -460,40 +609,44 @@ func runOptimizer(cfg Config, ctx *context) (*core.Result, error) {
 		settings.Generations = cfg.Optimizer.Generations
 	}
 	// Keep the elite/mutation split proportional for non-default sizes.
-	settings.NumSaved = maxInt(1, settings.PopulationSize/10)
+	settings.NumSaved = max(1, settings.PopulationSize/10)
 	settings.NumMutation = settings.PopulationSize * 3 / 10
 	settings.TrackHistory = cfg.Optimizer.TrackHistory
+	settings.Parallelism = cfg.parallelism()
 
 	// Separate rng stream for the optimizer so context and search
 	// randomness do not interleave.
 	optRNG := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
 	if cfg.Optimizer.SeedWithHeuristics {
-		hs := heuristics.All(ctx.eval, optRNG)
+		hs := heuristics.All(sc.eval, optRNG)
 		settings.Seeds = heuristics.Graphs(hs)
 	}
-	res, err := core.Run(ctx.eval, settings, optRNG)
+	res, err := core.RunContext(ctx, sc.eval, settings, optRNG)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("cold: optimizer: %w", err)
 	}
 	return res, nil
 }
 
 // materialize turns one optimized topology into a fully evaluated Network.
-func materialize(cfg Config, ctx *context, g *graph.Graph, history []float64) (*Network, error) {
-	ev := ctx.eval.Evaluate(g)
+func materialize(cfg Config, sc *synthContext, g *graph.Graph, history []float64) (*Network, error) {
+	ev := sc.eval.Evaluate(g)
 	if !ev.Connected {
 		return nil, fmt.Errorf("cold: internal error: optimizer returned a disconnected network")
 	}
-	n := ctx.eval.N()
+	n := sc.eval.N()
 	nw := &Network{
 		Points:      make([]Point, n),
-		Populations: append([]float64(nil), ctx.pops...),
-		Demand:      ctx.tm.Demand,
+		Populations: append([]float64(nil), sc.pops...),
+		Demand:      sc.tm.Demand,
 		History:     history,
 		routing:     ev.Routing,
 		stats:       metrics.Summarize(g),
 	}
-	for i, p := range ctx.points {
+	for i, p := range sc.points {
 		nw.Points[i] = Point{X: p.X, Y: p.Y}
 	}
 	nw.Links = make([]Link, len(ev.Edges))
@@ -516,11 +669,4 @@ func materialize(cfg Config, ctx *context, g *graph.Graph, history []float64) (*
 		nw.adj[l.B][l.A] = true
 	}
 	return nw, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -73,9 +73,79 @@ func (nw *Network) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// WriteDOT writes the network in Graphviz DOT format: PoPs positioned at
-// their coordinates, links labeled with capacity.
-func (nw *Network) WriteDOT(w io.Writer) error {
+// ExportFormat selects the serialization used by Network.Export.
+type ExportFormat int
+
+// Export formats.
+const (
+	// ExportJSON is the stable JSON representation (MarshalJSON),
+	// indented; it round-trips through UnmarshalJSON.
+	ExportJSON ExportFormat = iota
+	// ExportDOT is Graphviz DOT: PoPs positioned at their coordinates,
+	// links labeled with capacity.
+	ExportDOT
+	// ExportTSV is one link per line: a, b, length, capacity.
+	ExportTSV
+)
+
+// String returns the format's canonical lower-case name.
+func (f ExportFormat) String() string {
+	switch f {
+	case ExportJSON:
+		return "json"
+	case ExportDOT:
+		return "dot"
+	case ExportTSV:
+		return "tsv"
+	default:
+		return fmt.Sprintf("ExportFormat(%d)", int(f))
+	}
+}
+
+// ParseExportFormat maps a format name ("json", "dot", "tsv") to its
+// ExportFormat, for wiring Export to command-line flags.
+func ParseExportFormat(name string) (ExportFormat, error) {
+	switch strings.ToLower(name) {
+	case "json":
+		return ExportJSON, nil
+	case "dot":
+		return ExportDOT, nil
+	case "tsv":
+		return ExportTSV, nil
+	default:
+		return 0, fmt.Errorf("cold: unknown export format %q (want json, dot or tsv)", name)
+	}
+}
+
+// Export writes the network to w in the given format. It is the single
+// entry point for all serializations; WriteDOT and WriteTSV remain as
+// deprecated wrappers.
+func (nw *Network) Export(w io.Writer, format ExportFormat) error {
+	switch format {
+	case ExportJSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(nw)
+	case ExportDOT:
+		return nw.writeDOT(w)
+	case ExportTSV:
+		return nw.writeTSV(w)
+	default:
+		return fmt.Errorf("cold: unknown export format %d", int(format))
+	}
+}
+
+// WriteDOT writes the network in Graphviz DOT format.
+//
+// Deprecated: use Export(w, ExportDOT).
+func (nw *Network) WriteDOT(w io.Writer) error { return nw.Export(w, ExportDOT) }
+
+// WriteTSV writes one link per line: a, b, length, capacity.
+//
+// Deprecated: use Export(w, ExportTSV).
+func (nw *Network) WriteTSV(w io.Writer) error { return nw.Export(w, ExportTSV) }
+
+func (nw *Network) writeDOT(w io.Writer) error {
 	var b strings.Builder
 	b.WriteString("graph cold {\n")
 	b.WriteString("  node [shape=circle];\n")
@@ -90,8 +160,7 @@ func (nw *Network) WriteDOT(w io.Writer) error {
 	return err
 }
 
-// WriteTSV writes one link per line: a, b, length, capacity.
-func (nw *Network) WriteTSV(w io.Writer) error {
+func (nw *Network) writeTSV(w io.Writer) error {
 	var b strings.Builder
 	b.WriteString("a\tb\tlength\tcapacity\n")
 	for _, l := range nw.Links {

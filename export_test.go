@@ -1,0 +1,89 @@
+package cold
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exportNetwork(t *testing.T) *Network {
+	t.Helper()
+	nw, err := Generate(fastConfig(8, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestExportMatchesDeprecatedWriters(t *testing.T) {
+	nw := exportNetwork(t)
+	var viaExport, viaWriter bytes.Buffer
+	if err := nw.Export(&viaExport, ExportDOT); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.WriteDOT(&viaWriter); err != nil {
+		t.Fatal(err)
+	}
+	if viaExport.String() != viaWriter.String() {
+		t.Error("Export(DOT) and WriteDOT must agree")
+	}
+	viaExport.Reset()
+	viaWriter.Reset()
+	if err := nw.Export(&viaExport, ExportTSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.WriteTSV(&viaWriter); err != nil {
+		t.Fatal(err)
+	}
+	if viaExport.String() != viaWriter.String() {
+		t.Error("Export(TSV) and WriteTSV must agree")
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	nw := exportNetwork(t)
+	var buf bytes.Buffer
+	if err := nw.Export(&buf, ExportJSON); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Network
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.N() != nw.N() || len(decoded.Links) != len(nw.Links) {
+		t.Fatalf("round trip lost data: %d/%d PoPs, %d/%d links",
+			decoded.N(), nw.N(), len(decoded.Links), len(nw.Links))
+	}
+	if decoded.Cost.Total != nw.Cost.Total {
+		t.Fatalf("cost changed in round trip: %v vs %v", decoded.Cost.Total, nw.Cost.Total)
+	}
+}
+
+func TestExportUnknownFormat(t *testing.T) {
+	nw := exportNetwork(t)
+	var buf bytes.Buffer
+	if err := nw.Export(&buf, ExportFormat(99)); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+func TestParseExportFormat(t *testing.T) {
+	for name, want := range map[string]ExportFormat{
+		"json": ExportJSON, "dot": ExportDOT, "tsv": ExportTSV, "JSON": ExportJSON,
+	} {
+		got, err := ParseExportFormat(name)
+		if err != nil || got != want {
+			t.Errorf("ParseExportFormat(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseExportFormat("xml"); err == nil {
+		t.Error("xml must be rejected")
+	}
+	if ExportDOT.String() != "dot" || ExportJSON.String() != "json" || ExportTSV.String() != "tsv" {
+		t.Error("String() names wrong")
+	}
+	if !strings.HasPrefix(ExportFormat(99).String(), "ExportFormat(") {
+		t.Error("unknown format String() should be diagnostic")
+	}
+}

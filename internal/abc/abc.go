@@ -148,7 +148,7 @@ func Infer(target Target, prior Prior, o Options) (*Posterior, error) {
 	settings := core.DefaultSettings()
 	settings.PopulationSize = o.GAPop
 	settings.Generations = o.GAGens
-	settings.NumSaved = maxInt(1, o.GAPop/10)
+	settings.NumSaved = max(1, o.GAPop/10)
 	settings.NumMutation = o.GAPop * 3 / 10
 
 	all := make([]Sample, 0, o.Samples)
@@ -202,11 +202,4 @@ func distance(want, got Target) float64 {
 
 func logUniform(lo, hi float64, rng *rand.Rand) float64 {
 	return lo * math.Exp(rng.Float64()*math.Log(hi/lo))
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

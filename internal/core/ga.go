@@ -13,9 +13,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/networksynth/cold/internal/cost"
 	"github.com/networksynth/cold/internal/graph"
@@ -74,6 +76,14 @@ type Settings struct {
 	// StagnationTolerance is the relative improvement below which a
 	// generation counts as stagnant. Zero means 1e-9.
 	StagnationTolerance float64
+
+	// Parallelism is the number of goroutines used to evaluate each
+	// generation's fitness (0 or 1 means serial). Fitness evaluation is
+	// the GA's hot path; the population is chunked across workers, each
+	// with its own cost.Evaluator clone sharing one memoization cache.
+	// Costs are written by population index and every other GA stage
+	// stays sequential, so results are bit-identical to a serial run.
+	Parallelism int
 }
 
 // DefaultSettings returns the paper's configuration: M = T = 100, 10%
@@ -119,6 +129,9 @@ func (s Settings) Validate() error {
 	if s.InitialEdgeProb < 0 || s.InitialEdgeProb > 1 {
 		return fmt.Errorf("core: initial edge probability %v outside [0,1]", s.InitialEdgeProb)
 	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("core: parallelism %d < 0", s.Parallelism)
+	}
 	return nil
 }
 
@@ -144,6 +157,13 @@ type Result struct {
 // Run executes the genetic algorithm for the context held by e. The rng
 // drives all stochastic choices, making runs reproducible.
 func Run(e *cost.Evaluator, s Settings, rng *rand.Rand) (*Result, error) {
+	return RunContext(context.Background(), e, s, rng)
+}
+
+// RunContext is Run with cancellation: the context is checked before every
+// generation, and on cancellation the run stops and returns ctx.Err().
+// Results are independent of ctx — an uncancelled RunContext matches Run.
+func RunContext(ctx context.Context, e *cost.Evaluator, s Settings, rng *rand.Rand) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -158,6 +178,16 @@ func Run(e *cost.Evaluator, s Settings, rng *rand.Rand) (*Result, error) {
 	}
 
 	ga := &runner{e: e, s: s, rng: rng, n: n}
+	if s.Parallelism > 1 {
+		ga.workers = make([]*cost.Evaluator, s.Parallelism)
+		ga.workers[0] = e
+		for i := 1; i < s.Parallelism; i++ {
+			ga.workers[i] = e.Clone()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pop := ga.initialPopulation()
 	costs := ga.evaluate(pop)
 	sortByCost(pop, costs)
@@ -176,6 +206,9 @@ func Run(e *cost.Evaluator, s Settings, rng *rand.Rand) (*Result, error) {
 
 	next := make([]*graph.Graph, 0, s.PopulationSize)
 	for gen := 1; gen < s.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		next = next[:0]
 		// Elite survive unchanged.
 		for i := 0; i < s.NumSaved && i < len(pop); i++ {
@@ -225,6 +258,10 @@ type runner struct {
 	n     int
 	evals uint64
 
+	// workers are per-goroutine evaluator clones for parallel fitness
+	// evaluation (nil when Parallelism <= 1). workers[0] is e.
+	workers []*cost.Evaluator
+
 	nbuf []int // neighbor scratch
 }
 
@@ -269,11 +306,35 @@ func (ga *runner) initialPopulation() []*graph.Graph {
 	return pop
 }
 
+// evaluate computes the cost of every member of pop. With workers it chunks
+// the population across goroutines; costs land at their population index,
+// so the result is identical to the serial loop.
 func (ga *runner) evaluate(pop []*graph.Graph) []float64 {
 	costs := make([]float64, len(pop))
+	ga.evals += uint64(len(pop))
+	if w := len(ga.workers); w > 1 && len(pop) > 1 {
+		nw := min(w, len(pop))
+		chunk := (len(pop) + nw - 1) / nw
+		var wg sync.WaitGroup
+		for k := 0; k < nw; k++ {
+			lo := k * chunk
+			hi := min(lo+chunk, len(pop))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(ev *cost.Evaluator, lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					costs[i] = ev.Cost(pop[i])
+				}
+			}(ga.workers[k], lo, hi)
+		}
+		wg.Wait()
+		return costs
+	}
 	for i, g := range pop {
 		costs[i] = ga.e.Cost(g)
-		ga.evals++
 	}
 	return costs
 }

@@ -159,10 +159,3 @@ func TestPopulationConverges(t *testing.T) {
 		t.Errorf("population median %v far above best %v (not converged)", median, res.BestCost)
 	}
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

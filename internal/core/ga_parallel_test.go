@@ -1,0 +1,104 @@
+package core
+
+// Tests for parallel fitness evaluation and context cancellation: a
+// parallel run must be bit-identical to a serial run, because costs land
+// at their population index and every other GA stage stays sequential.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/networksynth/cold/internal/cost"
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/traffic"
+)
+
+func parallelTestEvaluator(t *testing.T, n int, seed int64) *cost.Evaluator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := geom.NewUniform().Sample(n, rng)
+	pops := traffic.NewExponential().Sample(n, rng)
+	e, err := cost.NewEvaluator(geom.DistanceMatrix(pts), traffic.Gravity(pops, traffic.DefaultGravityScale), cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	for _, par := range []int{2, 4, 7} {
+		serial := parallelTestEvaluator(t, 14, 9)
+		parallel := parallelTestEvaluator(t, 14, 9)
+
+		s := DefaultSettings()
+		s.PopulationSize = 24
+		s.Generations = 12
+		s.NumSaved = 3
+		s.NumMutation = 7
+		s.TrackHistory = true
+
+		a, err := Run(serial, s, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Parallelism = par
+		b, err := Run(parallel, s, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if a.BestCost != b.BestCost {
+			t.Fatalf("parallelism %d: best cost %v vs serial %v", par, b.BestCost, a.BestCost)
+		}
+		if !a.Best.Equal(b.Best) {
+			t.Fatalf("parallelism %d: best topology differs from serial", par)
+		}
+		if a.Evaluations != b.Evaluations {
+			t.Fatalf("parallelism %d: %d evaluations vs serial %d", par, b.Evaluations, a.Evaluations)
+		}
+		if len(a.History) != len(b.History) {
+			t.Fatalf("parallelism %d: history lengths differ", par)
+		}
+		for i := range a.History {
+			if a.History[i] != b.History[i] {
+				t.Fatalf("parallelism %d: history diverges at generation %d", par, i)
+			}
+		}
+		for i := range a.Costs {
+			if a.Costs[i] != b.Costs[i] {
+				t.Fatalf("parallelism %d: final population cost %d differs", par, i)
+			}
+		}
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	e := parallelTestEvaluator(t, 30, 3)
+	s := DefaultSettings()
+	s.Generations = 1000000
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunContext(ctx, e, s, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestValidateRejectsNegativeParallelism(t *testing.T) {
+	s := DefaultSettings()
+	s.Parallelism = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative parallelism must fail validation")
+	}
+}

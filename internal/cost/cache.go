@@ -1,0 +1,104 @@
+package cost
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/networksynth/cold/internal/graph"
+)
+
+// cacheShards is the number of independently locked shards of the
+// memoization cache. A power of two so the shard index is a cheap mask of
+// the graph hash; 64 shards keep contention negligible even at high worker
+// counts (workers collide only when two graphs hash into the same shard at
+// the same instant).
+const cacheShards = 64
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[uint64][]cacheEntry
+}
+
+type cacheEntry struct {
+	g    *graph.Graph
+	cost float64
+}
+
+// sharedCache memoizes topology costs by graph hash, verified against a
+// stored clone to rule out collisions. It is safe for concurrent use: the
+// key space is split across cacheShards mutex-protected shards, and an
+// Evaluator and all its Clones share one sharedCache, so a topology
+// evaluated by any worker is a cache hit for every other worker.
+type sharedCache struct {
+	shards [cacheShards]cacheShard
+	limit  atomic.Int64 // per-shard reset threshold; <= 0 disables caching
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newSharedCache(limit int) *sharedCache {
+	c := &sharedCache{}
+	c.setLimit(limit)
+	return c
+}
+
+// setLimit stores the total entry budget, converted to a per-shard reset
+// threshold. A limit of zero (or below) disables memoization.
+func (c *sharedCache) setLimit(limit int) {
+	per := int64(0)
+	if limit > 0 {
+		per = max(1, int64(limit)/cacheShards)
+	}
+	c.limit.Store(per)
+}
+
+func (c *sharedCache) enabled() bool { return c.limit.Load() > 0 }
+
+func (c *sharedCache) stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+func (c *sharedCache) shard(h uint64) *cacheShard {
+	return &c.shards[h&(cacheShards-1)]
+}
+
+// lookup returns the memoized cost of g (keyed by its hash h) and whether
+// it was present, updating the hit/miss counters.
+func (c *sharedCache) lookup(h uint64, g *graph.Graph) (float64, bool) {
+	s := c.shard(h)
+	s.mu.Lock()
+	for _, ent := range s.m[h] {
+		if ent.g.Equal(g) {
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return ent.cost, true
+		}
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+	return 0, false
+}
+
+// store memoizes the cost of g. The graph is cloned so later mutation by
+// the caller cannot corrupt the cache. Two workers that computed the same
+// graph concurrently both call store; the second notices the existing
+// entry and drops its duplicate (costs are deterministic, so the values
+// agree).
+func (c *sharedCache) store(h uint64, g *graph.Graph, cost float64) {
+	limit := c.limit.Load()
+	if limit <= 0 {
+		return
+	}
+	s := c.shard(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ent := range s.m[h] {
+		if ent.g.Equal(g) {
+			return
+		}
+	}
+	if s.m == nil || int64(len(s.m)) >= limit {
+		s.m = make(map[uint64][]cacheEntry)
+	}
+	s.m[h] = append(s.m[h], cacheEntry{g: g.Clone(), cost: cost})
+}

@@ -1,0 +1,120 @@
+package cost
+
+// Tests for the sharded memoization cache and Evaluator.Clone: concurrent
+// workers must agree with a serial evaluator on every cost, and the shared
+// cache must serve hits across clones.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/traffic"
+)
+
+func cacheTestEvaluator(t *testing.T, n int, seed int64) *Evaluator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := geom.NewUniform().Sample(n, rng)
+	pops := traffic.NewExponential().Sample(n, rng)
+	e, err := NewEvaluator(geom.DistanceMatrix(pts), traffic.Gravity(pops, traffic.DefaultGravityScale), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func cacheRandGraph(n int, p float64, dist [][]float64, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	g.Connect(dist)
+	return g
+}
+
+func TestCloneConcurrentAgreesWithSerial(t *testing.T) {
+	const n, graphs, workers = 16, 120, 8
+	e := cacheTestEvaluator(t, n, 1)
+	rng := rand.New(rand.NewSource(2))
+	pop := make([]*graph.Graph, graphs)
+	want := make([]float64, graphs)
+	serial := cacheTestEvaluator(t, n, 1)
+	for i := range pop {
+		pop[i] = cacheRandGraph(n, 0.2, e.Dist(), rng)
+		want[i] = serial.Cost(pop[i])
+	}
+
+	got := make([]float64, graphs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ev := e
+		if w > 0 {
+			ev = e.Clone()
+		}
+		wg.Add(1)
+		go func(ev *Evaluator, w int) {
+			defer wg.Done()
+			for i := w; i < graphs; i += workers {
+				got[i] = ev.Cost(pop[i])
+			}
+		}(ev, w)
+	}
+	wg.Wait()
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("graph %d: concurrent cost %v, serial %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCloneSharesCache(t *testing.T) {
+	e := cacheTestEvaluator(t, 10, 3)
+	g := cacheRandGraph(10, 0.3, e.Dist(), rand.New(rand.NewSource(4)))
+	c := e.Cost(g)
+	clone := e.Clone()
+	if got := clone.Cost(g.Clone()); got != c {
+		t.Fatalf("clone cost %v, original %v", got, c)
+	}
+	hits, misses := e.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("want 1 hit (clone) and 1 miss (original), got %d/%d", hits, misses)
+	}
+	ch, cm := clone.CacheStats()
+	if ch != hits || cm != misses {
+		t.Fatal("clone must report the shared cache's stats")
+	}
+}
+
+func TestSetCacheLimitZeroDisables(t *testing.T) {
+	e := cacheTestEvaluator(t, 10, 5)
+	e.SetCacheLimit(0)
+	g := cacheRandGraph(10, 0.3, e.Dist(), rand.New(rand.NewSource(6)))
+	e.Cost(g)
+	e.Cost(g)
+	hits, misses := e.CacheStats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("disabled cache: want 0 hits / 2 misses, got %d/%d", hits, misses)
+	}
+}
+
+func TestCacheResetOnOverflow(t *testing.T) {
+	e := cacheTestEvaluator(t, 10, 7)
+	// A tiny limit still leaves one slot per shard; storing many distinct
+	// graphs forces per-shard resets without losing correctness.
+	e.SetCacheLimit(1)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		g := cacheRandGraph(10, 0.3, e.Dist(), rng)
+		first := e.Cost(g)
+		if again := e.Cost(g); again != first {
+			t.Fatalf("graph %d: cost changed across calls: %v vs %v", i, first, again)
+		}
+	}
+}

@@ -114,8 +114,11 @@ type Evaluation struct {
 }
 
 // Evaluator computes topology costs for one fixed context (distance matrix
-// + traffic matrix + parameters). It is not safe for concurrent use: it
-// reuses internal scratch buffers between calls.
+// + traffic matrix + parameters). A single Evaluator is not safe for
+// concurrent use — it reuses internal scratch buffers between calls — but
+// Clone returns additional evaluators for the same context that share the
+// thread-safe memoization cache, so one evaluator per goroutine scales the
+// hot path across cores.
 type Evaluator struct {
 	dist   [][]float64
 	tm     *traffic.Matrix
@@ -138,16 +141,8 @@ type Evaluator struct {
 	}
 
 	// Memoized costs keyed by graph hash, verified against a stored clone
-	// to rule out collisions.
-	cache      map[uint64][]cacheEntry
-	cacheLimit int
-	hits       uint64
-	misses     uint64
-}
-
-type cacheEntry struct {
-	g    *graph.Graph
-	cost float64
+	// to rule out collisions. Shared (and safe to share) across Clones.
+	cache *sharedCache
 }
 
 // DefaultCacheLimit bounds the number of memoized topologies before the
@@ -169,15 +164,31 @@ func NewEvaluator(dist [][]float64, tm *traffic.Matrix, params Params) (*Evaluat
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Evaluator{dist: dist, tm: tm, params: params, n: n, cacheLimit: DefaultCacheLimit}
+	e := &Evaluator{dist: dist, tm: tm, params: params, n: n, cache: newSharedCache(DefaultCacheLimit)}
+	e.initScratch()
+	return e, nil
+}
+
+func (e *Evaluator) initScratch() {
+	n := e.n
 	e.dj.dist = make([]float64, n)
 	e.dj.parent = make([]int32, n)
 	e.dj.done = make([]bool, n)
 	e.dj.order = make([]int, n)
 	e.dj.acc = make([]float64, n)
 	e.dj.load = make([]float64, n*n)
-	e.cache = make(map[uint64][]cacheEntry)
-	return e, nil
+}
+
+// Clone returns an Evaluator for the same context that may be used from a
+// different goroutine than e. The clone shares the (immutable) distance
+// matrix, traffic matrix, parameters and link-cost function, and the
+// thread-safe memoization cache — a topology costed by any clone is a
+// cache hit for all of them — but owns its scratch buffers. Each goroutine
+// must still use its own Evaluator.
+func (e *Evaluator) Clone() *Evaluator {
+	c := &Evaluator{dist: e.dist, tm: e.tm, params: e.params, linkCost: e.linkCost, n: e.n, cache: e.cache}
+	c.initScratch()
+	return c
 }
 
 // MustNewEvaluator is NewEvaluator for contexts known to be well-formed;
@@ -202,12 +213,13 @@ func (e *Evaluator) Dist() [][]float64 { return e.dist }
 // Traffic returns the traffic matrix.
 func (e *Evaluator) Traffic() *traffic.Matrix { return e.tm }
 
-// CacheStats reports memoization hits and misses since construction.
-func (e *Evaluator) CacheStats() (hits, misses uint64) { return e.hits, e.misses }
+// CacheStats reports memoization hits and misses since construction,
+// summed over the evaluator and all its Clones (they share one cache).
+func (e *Evaluator) CacheStats() (hits, misses uint64) { return e.cache.stats() }
 
-// SetCacheLimit overrides the cache reset threshold. A limit of zero
-// disables memoization.
-func (e *Evaluator) SetCacheLimit(limit int) { e.cacheLimit = limit }
+// SetCacheLimit overrides the cache reset threshold for the evaluator and
+// all its Clones. A limit of zero disables memoization.
+func (e *Evaluator) SetCacheLimit(limit int) { e.cache.setLimit(limit) }
 
 // Cost returns the total cost of g, memoized. Disconnected topologies
 // cannot carry the traffic and get +Inf.
@@ -215,24 +227,17 @@ func (e *Evaluator) Cost(g *graph.Graph) float64 {
 	if g.N() != e.n {
 		panic(fmt.Sprintf("cost: graph has %d nodes, context has %d", g.N(), e.n))
 	}
-	if e.cacheLimit > 0 {
-		h := g.Hash()
-		for _, ent := range e.cache[h] {
-			if ent.g.Equal(g) {
-				e.hits++
-				return ent.cost
-			}
-		}
-		c := e.computeCost(g)
-		if len(e.cache) >= e.cacheLimit {
-			e.cache = make(map[uint64][]cacheEntry)
-		}
-		e.cache[h] = append(e.cache[h], cacheEntry{g: g.Clone(), cost: c})
-		e.misses++
+	if !e.cache.enabled() {
+		e.cache.misses.Add(1)
+		return e.computeCost(g)
+	}
+	h := g.Hash()
+	if c, ok := e.cache.lookup(h, g); ok {
 		return c
 	}
-	e.misses++
-	return e.computeCost(g)
+	c := e.computeCost(g)
+	e.cache.store(h, g, c)
+	return c
 }
 
 // computeCost is the uncached fast path: routes, accumulates loads, sums

@@ -58,9 +58,12 @@ func SteppedBandwidth(p Params, granularity float64) (LinkCostFunc, error) {
 
 // SetLinkCostFunc replaces the evaluator's built-in linear link cost with
 // fn (the k3 node cost still applies). Passing nil restores the linear
-// model. The memoization cache is cleared, since cached costs were
-// computed under the previous model.
+// model. The memoization cache is replaced with a fresh one, since cached
+// costs were computed under the previous model. Call it before Clone:
+// clones made earlier keep the old link-cost function and the old cache.
 func (e *Evaluator) SetLinkCostFunc(fn LinkCostFunc) {
 	e.linkCost = fn
-	e.cache = make(map[uint64][]cacheEntry)
+	fresh := &sharedCache{}
+	fresh.limit.Store(e.cache.limit.Load())
+	e.cache = fresh
 }

@@ -111,7 +111,7 @@ func Table1(o Options) *Table {
 	o = o.normalize()
 	rng := rand.New(rand.NewSource(o.Seed))
 	n := o.N
-	trials := maxInt(o.Trials, 20)
+	trials := max(o.Trials, 20)
 	connFrac := func(gen func() *graph.Graph) float64 {
 		connected := 0
 		for i := 0; i < trials; i++ {

@@ -49,6 +49,10 @@ func Defaults() Options {
 	return Options{Trials: 10, N: 30, GAPop: 100, GAGens: 100, Bootstrap: 1000, Seed: 1}
 }
 
+// Normalized fills zero fields of o from Defaults (for callers outside the
+// package that build workloads from Options, e.g. cmd/coldbench extras).
+func Normalized(o Options) Options { return o.normalize() }
+
 // normalize fills zero fields from Defaults.
 func (o Options) normalize() Options {
 	d := Defaults()
@@ -148,7 +152,7 @@ func gaSettings(o Options) core.Settings {
 	s := core.DefaultSettings()
 	s.PopulationSize = o.GAPop
 	s.Generations = o.GAGens
-	s.NumSaved = maxInt(1, o.GAPop/10)
+	s.NumSaved = max(1, o.GAPop/10)
 	s.NumMutation = o.GAPop * 3 / 10
 	return s
 }
@@ -177,13 +181,6 @@ func runInitGA(e *cost.Evaluator, o Options, rng *rand.Rand) *core.Result {
 // bestOf runs the GA and returns just the best topology.
 func bestOf(e *cost.Evaluator, o Options, rng *rand.Rand) *graph.Graph {
 	return runGA(e, o, rng).Best
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }

@@ -121,7 +121,7 @@ func Brute(o Options) *Table {
 		{K0: 10, K1: 1, K2: 1e-4, K3: 50},
 	}
 	for _, p := range paramSets {
-		for trial := 0; trial < minInt(o.Trials, 5); trial++ {
+		for trial := 0; trial < min(o.Trials, 5); trial++ {
 			rng := rand.New(rand.NewSource(o.Seed + int64(trial)))
 			e := newContext(n, p, rng)
 			opt, err := heuristics.BruteForce(e)
@@ -139,11 +139,4 @@ func Brute(o Options) *Table {
 		}
 	}
 	return t
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -313,17 +313,3 @@ func Summarize(g *graph.Graph) Summary {
 		SMetric:       SMetric(g),
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
