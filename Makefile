@@ -1,6 +1,7 @@
-# Development targets. `make check` is the pre-merge gate: it vets the tree
-# and runs every test under the race detector, so the concurrent paths
-# (parallel ensemble engine, shared cost cache) are race-checked on every PR.
+# Development targets. `make check` is the pre-merge gate: it builds and
+# vets the tree and runs every test under the race detector, so the
+# concurrent paths (parallel ensemble engine, parallel GA breeding, shared
+# cost cache) are race-checked on every PR. CI runs the same target.
 
 GO ?= go
 
@@ -18,7 +19,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+check: build vet race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

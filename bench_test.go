@@ -182,7 +182,7 @@ func BenchmarkGASeeding(b *testing.B) {
 	b.Run("plain", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := benchEvaluator(b, 20, p, int64(i))
-			if _, err := core.Run(e, settings, rand.New(rand.NewSource(int64(i)))); err != nil {
+			if _, err := core.Run(e, settings, uint64(i)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -193,7 +193,7 @@ func BenchmarkGASeeding(b *testing.B) {
 			rng := rand.New(rand.NewSource(int64(i)))
 			s := settings
 			s.Seeds = heuristics.Graphs(heuristics.All(e, rng))
-			if _, err := core.Run(e, s, rng); err != nil {
+			if _, err := core.Run(e, s, rng.Uint64()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -258,7 +258,7 @@ func BenchmarkGAParallelEval(b *testing.B) {
 			settings.Parallelism = par
 			for i := 0; i < b.N; i++ {
 				e := benchEvaluator(b, 30, cost.DefaultParams(), int64(i))
-				if _, err := core.Run(e, settings, rand.New(rand.NewSource(int64(i)))); err != nil {
+				if _, err := core.Run(e, settings, uint64(i)); err != nil {
 					b.Fatal(err)
 				}
 			}

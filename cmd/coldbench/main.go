@@ -8,8 +8,8 @@
 //	coldbench all
 //
 // Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9
-// brute context routers all. Figures 5–7 share one sweep, as do 8b and 9, so
-// requesting several of them together reuses the runs.
+// brute context routers ensemble breeding all. Figures 5–7 share one sweep,
+// as do 8b and 9, so requesting several of them together reuses the runs.
 package main
 
 import (
@@ -47,10 +47,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		return fmt.Errorf("no experiment given; try: coldbench all (options: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 brute context routers extras ensemble)")
+		return fmt.Errorf("no experiment given; try: coldbench all (options: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 brute context routers extras ensemble breeding)")
 	}
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9", "brute", "context", "routers", "extras", "ensemble"}
+		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9", "brute", "context", "routers", "extras", "ensemble", "breeding"}
 	}
 
 	// Shared sweeps, computed at most once.
@@ -106,6 +106,12 @@ func run(args []string, stdout io.Writer) error {
 			tables = []*experiments.Table{experiments.ExtraFeatures(0, o)}
 		case "ensemble":
 			t, err := ensembleThroughput(o)
+			if err != nil {
+				return err
+			}
+			tables = []*experiments.Table{t}
+		case "breeding":
+			t, err := breedingThroughput(o)
 			if err != nil {
 				return err
 			}
@@ -174,6 +180,61 @@ func ensembleThroughput(o experiments.Options) (*experiments.Table, error) {
 			fmt.Sprintf("%.2f", secs),
 			fmt.Sprintf("%.2f", float64(count)/secs),
 			fmt.Sprintf("%.2fx", base/secs),
+		})
+	}
+	return t, nil
+}
+
+// breedingThroughput times a single large GA run (cold.Generate) with the
+// inner worker pool off and on. Since the per-offspring rng streams made
+// breeding order-independent, both offspring construction and fitness
+// evaluation fan out — and the resulting network must be bit-identical at
+// every parallelism, which this experiment also verifies.
+func breedingThroughput(o experiments.Options) (*experiments.Table, error) {
+	o = experiments.Normalized(o)
+	cfg := cold.Config{
+		NumPoPs: o.N,
+		Seed:    o.Seed,
+		Optimizer: cold.OptimizerSpec{
+			// Scale the population up so offspring construction, not just
+			// fitness evaluation, is a visible fraction of the run.
+			PopulationSize: 4 * o.GAPop,
+			Generations:    o.GAGens,
+		},
+	}
+	t := &experiments.Table{
+		Title: fmt.Sprintf("GA breeding throughput (one run, n=%d, M=%d, T=%d, %d CPUs)",
+			o.N, 4*o.GAPop, o.GAGens, runtime.GOMAXPROCS(0)),
+		Notes:   []string{"per-offspring rng streams keep the run bit-identical at every parallelism"},
+		Columns: []string{"parallelism", "seconds", "speedup", "cost"},
+	}
+	levels := []int{1}
+	if runtime.GOMAXPROCS(0) > 1 {
+		levels = append(levels, runtime.GOMAXPROCS(0))
+	}
+	var base float64
+	var serial *cold.Network
+	for _, par := range levels {
+		c := cfg
+		c.Parallelism = par
+		start := time.Now()
+		nw, err := cold.Generate(c)
+		if err != nil {
+			return nil, err
+		}
+		secs := time.Since(start).Seconds()
+		if par == 1 {
+			base = secs
+			serial = nw
+		} else if nw.Cost.Total != serial.Cost.Total || len(nw.Links) != len(serial.Links) {
+			return nil, fmt.Errorf("breeding: parallel output diverged from serial (cost %v vs %v)",
+				nw.Cost.Total, serial.Cost.Total)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", par),
+			fmt.Sprintf("%.2f", secs),
+			fmt.Sprintf("%.2fx", base/secs),
+			fmt.Sprintf("%.1f", nw.Cost.Total),
 		})
 	}
 	return t, nil

@@ -49,6 +49,17 @@ func TestRunFig2AndBrute(t *testing.T) {
 	}
 }
 
+func TestRunBreedingThroughput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(append(fastFlags, "breeding"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "GA breeding throughput") || !strings.Contains(s, "-- breeding done") {
+		t.Errorf("output malformed:\n%s", s)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{}, &out); err == nil {

@@ -41,6 +41,7 @@ import (
 	"github.com/networksynth/cold/internal/graph"
 	"github.com/networksynth/cold/internal/heuristics"
 	"github.com/networksynth/cold/internal/metrics"
+	"github.com/networksynth/cold/internal/stats"
 	"github.com/networksynth/cold/internal/traffic"
 )
 
@@ -390,12 +391,20 @@ feed:
 	return nets, nil
 }
 
-// replicaSeed derives the seed of ensemble member i. The golden-ratio
-// increment avoids accidental correlation between consecutive streams;
-// serial and parallel paths share it, so outputs never depend on
-// Parallelism.
+// replicaTag domain-separates replica-seed derivation from every other
+// consumer of stats.StreamSeed (the GA derives per-offspring streams from
+// the same base seed).
+const replicaTag = 0xC01DC01D
+
+// replicaSeed derives the seed of ensemble member i by hashing (seed, i)
+// through stats.StreamSeed. The previous additive derivation
+// (seed + i*K) made streams collide across ensembles whose base seeds
+// differ by a multiple of K — replicaSeed(s, i+d) == replicaSeed(s+d*K, i)
+// — so two "independent" ensembles could share member networks. Hashing
+// has no such additive relation; serial and parallel paths share the
+// derivation, so outputs never depend on Parallelism.
 func replicaSeed(seed int64, i int) int64 {
-	return seed + int64(i)*0x5851F42D4C957F2D
+	return int64(stats.StreamSeed(uint64(seed), replicaTag, uint64(i)))
 }
 
 // generateReplica synthesizes ensemble member i. Replicas run serially
@@ -598,8 +607,12 @@ func optimize(ctx context.Context, cfg Config, sc *synthContext) (*Network, erro
 	return materialize(cfg, sc, res.Best, res.History)
 }
 
-// runOptimizer executes the GA for a built context, parallelizing fitness
-// evaluation across cfg.Parallelism workers.
+// gaTag domain-separates the GA run seed from replica-seed derivation.
+const gaTag = 0x6A5EED
+
+// runOptimizer executes the GA for a built context, parallelizing both
+// offspring construction and fitness evaluation across cfg.Parallelism
+// workers.
 func runOptimizer(ctx context.Context, cfg Config, sc *synthContext) (*core.Result, error) {
 	settings := core.DefaultSettings()
 	if cfg.Optimizer.PopulationSize != 0 {
@@ -614,14 +627,15 @@ func runOptimizer(ctx context.Context, cfg Config, sc *synthContext) (*core.Resu
 	settings.TrackHistory = cfg.Optimizer.TrackHistory
 	settings.Parallelism = cfg.parallelism()
 
-	// Separate rng stream for the optimizer so context and search
-	// randomness do not interleave.
-	optRNG := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	// Separate rng stream for the heuristic seeds so context and search
+	// randomness do not interleave; the GA itself derives per-offspring
+	// streams internally from its run seed.
 	if cfg.Optimizer.SeedWithHeuristics {
+		optRNG := rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
 		hs := heuristics.All(sc.eval, optRNG)
 		settings.Seeds = heuristics.Graphs(hs)
 	}
-	res, err := core.RunContext(ctx, sc.eval, settings, optRNG)
+	res, err := core.RunContext(ctx, sc.eval, settings, stats.StreamSeed(uint64(cfg.Seed), gaTag))
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()

@@ -51,7 +51,7 @@ func main() {
 		s := core.DefaultSettings()
 		s.PopulationSize, s.Generations = 60, 60
 		s.NumSaved, s.NumMutation = 6, 18
-		res, err := core.Run(e, s, rand.New(rand.NewSource(3)))
+		res, err := core.Run(e, s, 3)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -164,7 +164,7 @@ func Infer(target Target, prior Prior, o Options) (*Posterior, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.Run(e, settings, rng)
+			res, err := core.Run(e, settings, rng.Uint64())
 			if err != nil {
 				return nil, err
 			}

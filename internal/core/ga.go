@@ -10,13 +10,17 @@
 // non-leaf node into a leaf. Offspring that come out disconnected are
 // repaired by joining components with a distance-minimal spanning set of
 // links (§4.1.3), so every evaluated candidate can carry the traffic.
+//
+// All randomness is counter-based: every offspring slot of every generation
+// owns a SplitMix64 stream seeded from (run seed, generation, slot), so both
+// breeding and fitness evaluation fan out across Settings.Parallelism
+// goroutines while staying bit-identical to a serial run.
 package core
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 	"sync"
 
 	"github.com/networksynth/cold/internal/cost"
@@ -77,12 +81,15 @@ type Settings struct {
 	// generation counts as stagnant. Zero means 1e-9.
 	StagnationTolerance float64
 
-	// Parallelism is the number of goroutines used to evaluate each
-	// generation's fitness (0 or 1 means serial). Fitness evaluation is
-	// the GA's hot path; the population is chunked across workers, each
-	// with its own cost.Evaluator clone sharing one memoization cache.
-	// Costs are written by population index and every other GA stage
-	// stays sequential, so results are bit-identical to a serial run.
+	// Parallelism is the number of goroutines used per generation (0 or 1
+	// means serial). Both stages of the GA hot loop fan out across the
+	// worker pool: offspring construction — crossover, mutation and the
+	// initial random graphs, where each slot's randomness comes from its
+	// own (seed, generation, slot) stream — and fitness evaluation, where
+	// each worker uses its own cost.Evaluator clone sharing one
+	// memoization cache. Streams make offspring independent of which
+	// worker builds them, and costs land at their population index, so
+	// results are bit-identical for every Parallelism value.
 	Parallelism int
 }
 
@@ -154,16 +161,17 @@ type Result struct {
 	Evaluations uint64
 }
 
-// Run executes the genetic algorithm for the context held by e. The rng
-// drives all stochastic choices, making runs reproducible.
-func Run(e *cost.Evaluator, s Settings, rng *rand.Rand) (*Result, error) {
-	return RunContext(context.Background(), e, s, rng)
+// Run executes the genetic algorithm for the context held by e. The seed
+// drives all stochastic choices through counter-based per-offspring
+// streams, making runs reproducible for every Parallelism setting.
+func Run(e *cost.Evaluator, s Settings, seed uint64) (*Result, error) {
+	return RunContext(context.Background(), e, s, seed)
 }
 
 // RunContext is Run with cancellation: the context is checked before every
 // generation, and on cancellation the run stops and returns ctx.Err().
 // Results are independent of ctx — an uncancelled RunContext matches Run.
-func RunContext(ctx context.Context, e *cost.Evaluator, s Settings, rng *rand.Rand) (*Result, error) {
+func RunContext(ctx context.Context, e *cost.Evaluator, s Settings, seed uint64) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -171,20 +179,13 @@ func RunContext(ctx context.Context, e *cost.Evaluator, s Settings, rng *rand.Ra
 	if n < 1 {
 		return nil, fmt.Errorf("core: context has no PoPs")
 	}
-	for i, seed := range s.Seeds {
-		if seed.N() != n {
-			return nil, fmt.Errorf("core: seed %d has %d nodes, context has %d", i, seed.N(), n)
+	for i, seedGraph := range s.Seeds {
+		if seedGraph.N() != n {
+			return nil, fmt.Errorf("core: seed %d has %d nodes, context has %d", i, seedGraph.N(), n)
 		}
 	}
 
-	ga := &runner{e: e, s: s, rng: rng, n: n}
-	if s.Parallelism > 1 {
-		ga.workers = make([]*cost.Evaluator, s.Parallelism)
-		ga.workers[0] = e
-		for i := 1; i < s.Parallelism; i++ {
-			ga.workers[i] = e.Clone()
-		}
-	}
+	ga := newRunner(e, s, seed)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -204,25 +205,13 @@ func RunContext(ctx context.Context, e *cost.Evaluator, s Settings, rng *rand.Ra
 	stagnant := 0
 	lastBest := costs[0]
 
-	next := make([]*graph.Graph, 0, s.PopulationSize)
+	next := make([]*graph.Graph, s.PopulationSize)
 	for gen := 1; gen < s.Generations; gen++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		next = next[:0]
-		// Elite survive unchanged.
-		for i := 0; i < s.NumSaved && i < len(pop); i++ {
-			next = append(next, pop[i])
-		}
-		// Mutations.
-		for i := 0; i < s.NumMutation; i++ {
-			next = append(next, ga.mutate(pop, costs))
-		}
-		// Crossover fills the remainder.
-		for len(next) < s.PopulationSize {
-			next = append(next, ga.crossover(pop, costs))
-		}
-		pop, next = next, pop[:0]
+		ga.breed(gen, pop, costs, next)
+		pop, next = next, pop
 		costs = ga.evaluate(pop)
 		sortByCost(pop, costs)
 		if s.TrackHistory {
@@ -252,22 +241,101 @@ func RunContext(ctx context.Context, e *cost.Evaluator, s Settings, rng *rand.Ra
 }
 
 type runner struct {
-	e     *cost.Evaluator
-	s     Settings
-	rng   *rand.Rand
-	n     int
-	evals uint64
+	e       *cost.Evaluator
+	s       Settings
+	n       int
+	runSeed uint64
+	evals   uint64
 
 	// workers are per-goroutine evaluator clones for parallel fitness
 	// evaluation (nil when Parallelism <= 1). workers[0] is e.
 	workers []*cost.Evaluator
 
-	nbuf []int // neighbor scratch
+	// scratches[k] is the breeding scratch owned by fan-out goroutine k.
+	scratches []*breedScratch
+
+	// weights are the parent-selection weights (1/cost) of the current
+	// generation, rebuilt by prepBreeding and read-only during fan-out.
+	weights []float64
+}
+
+// breedScratch holds the per-goroutine buffers offspring construction
+// reuses: the partial Fisher–Yates pool for tournament draws, the parent
+// weights, the absent-pair pool for link mutation, and the neighbor buffer
+// for node mutation. One scratch is never shared between goroutines.
+type breedScratch struct {
+	idx     []int
+	parentW []float64
+	pairs   []int
+	nbuf    []int
+}
+
+func newRunner(e *cost.Evaluator, s Settings, seed uint64) *runner {
+	ga := &runner{e: e, s: s, n: e.N(), runSeed: seed}
+	nw := max(s.Parallelism, 1)
+	ga.scratches = make([]*breedScratch, nw)
+	for i := range ga.scratches {
+		ga.scratches[i] = &breedScratch{}
+	}
+	if s.Parallelism > 1 {
+		ga.workers = make([]*cost.Evaluator, s.Parallelism)
+		ga.workers[0] = e
+		for i := 1; i < s.Parallelism; i++ {
+			ga.workers[i] = e.Clone()
+		}
+	}
+	return ga
+}
+
+// stream returns the rng owning offspring slot `slot` of generation `gen`:
+// an independent SplitMix64 sequence seeded by hashing the coordinates with
+// the run seed, so a slot's randomness never depends on breeding order or
+// worker assignment. Generation 0 is the initial population.
+func (ga *runner) stream(gen, slot int) stats.RNG {
+	return stats.NewRNG(stats.StreamSeed(ga.runSeed, uint64(gen), uint64(slot)))
+}
+
+// forSlots runs body(slot, scratch) for every slot in [lo, hi), chunking
+// the range across the worker pool when Parallelism > 1. Bodies must write
+// only at their own slot and read shared state (population, costs, weights,
+// distance matrix) immutably — per-slot streams then make the outcome
+// identical for every worker count.
+func (ga *runner) forSlots(lo, hi int, body func(slot int, sc *breedScratch)) {
+	count := hi - lo
+	if count <= 0 {
+		return
+	}
+	nw := min(len(ga.scratches), count)
+	if nw <= 1 {
+		sc := ga.scratches[0]
+		for slot := lo; slot < hi; slot++ {
+			body(slot, sc)
+		}
+		return
+	}
+	chunk := (count + nw - 1) / nw
+	var wg sync.WaitGroup
+	for k := 0; k < nw; k++ {
+		l := lo + k*chunk
+		h := min(l+chunk, hi)
+		if l >= h {
+			break
+		}
+		wg.Add(1)
+		go func(l, h int, sc *breedScratch) {
+			defer wg.Done()
+			for slot := l; slot < h; slot++ {
+				body(slot, sc)
+			}
+		}(l, h, ga.scratches[k])
+	}
+	wg.Wait()
 }
 
 // initialPopulation builds generation zero per §4.1: the distance MST, the
 // clique, any provided seeds, and Erdős–Rényi random graphs (repaired to be
-// connected) for the rest.
+// connected) for the rest. The random members are constructed in parallel,
+// each slot drawing from its own generation-0 stream.
 func (ga *runner) initialPopulation() []*graph.Graph {
 	n := ga.n
 	pop := make([]*graph.Graph, 0, ga.s.PopulationSize)
@@ -291,19 +359,51 @@ func (ga *runner) initialPopulation() []*graph.Graph {
 			p = 1
 		}
 	}
-	for len(pop) < ga.s.PopulationSize {
+	start := len(pop)
+	pop = pop[:ga.s.PopulationSize]
+	ga.forSlots(start, len(pop), func(slot int, sc *breedScratch) {
+		rng := ga.stream(0, slot)
 		g := graph.New(n)
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				if ga.rng.Float64() < p {
+				if rng.Float64() < p {
 					g.AddEdge(i, j)
 				}
 			}
 		}
 		g.Connect(ga.e.Dist())
-		pop = append(pop, g)
-	}
+		pop[slot] = g
+	})
 	return pop
+}
+
+// prepBreeding rebuilds the shared parent-selection weights for a
+// generation's costs. Call before mutate when bypassing breed (tests).
+func (ga *runner) prepBreeding(costs []float64) {
+	ga.weights = ga.weights[:0]
+	for _, c := range costs {
+		ga.weights = append(ga.weights, inverseCostWeight(c))
+	}
+}
+
+// breed fills next (len PopulationSize) with generation gen: the NumSaved
+// elite survive unchanged, the following NumMutation slots hold mutation
+// offspring, and crossover offspring fill the remainder. Non-elite slots
+// are constructed in parallel, each from its own (runSeed, gen, slot)
+// stream.
+func (ga *runner) breed(gen int, pop []*graph.Graph, costs []float64, next []*graph.Graph) {
+	ga.prepBreeding(costs)
+	elite := min(ga.s.NumSaved, len(pop))
+	copy(next[:elite], pop[:elite])
+	mutEnd := elite + ga.s.NumMutation
+	ga.forSlots(elite, len(next), func(slot int, sc *breedScratch) {
+		rng := ga.stream(gen, slot)
+		if slot < mutEnd {
+			next[slot] = ga.mutate(pop, &rng, sc)
+		} else {
+			next[slot] = ga.crossover(pop, costs, &rng, sc)
+		}
+	})
 }
 
 // evaluate computes the cost of every member of pop. With workers it chunks
@@ -342,7 +442,7 @@ func (ga *runner) evaluate(pop []*graph.Graph) []float64 {
 // crossover creates one offspring: tournament-pick b candidates, keep the
 // best a as parents, then copy each potential link from a parent chosen
 // with probability inversely proportional to its cost.
-func (ga *runner) crossover(pop []*graph.Graph, costs []float64) *graph.Graph {
+func (ga *runner) crossover(pop []*graph.Graph, costs []float64, rng *stats.RNG, sc *breedScratch) *graph.Graph {
 	a, b := ga.s.TournamentA, ga.s.TournamentB
 	if b > len(pop) {
 		b = len(pop)
@@ -350,19 +450,22 @@ func (ga *runner) crossover(pop []*graph.Graph, costs []float64) *graph.Graph {
 	if a > b {
 		a = b
 	}
-	// Choose b distinct candidate indices, keep the a cheapest. pop is
-	// sorted by cost, so "cheapest" is "lowest index".
-	cand := ga.rng.Perm(len(pop))[:b]
+	// Draw b distinct candidate indices with a partial Fisher–Yates:
+	// exactly b rng draws and no O(M) permutation allocation (the old
+	// rng.Perm consumed M draws per offspring). pop is sorted by cost, so
+	// "cheapest" is "lowest index".
+	cand := sc.sampleIndices(len(pop), b, rng)
 	parents := bestIndices(cand, a)
 
-	weights := make([]float64, len(parents))
-	for i, pi := range parents {
-		weights[i] = inverseCostWeight(costs[pi])
+	weights := sc.parentW[:0]
+	for _, pi := range parents {
+		weights = append(weights, inverseCostWeight(costs[pi]))
 	}
+	sc.parentW = weights
 	child := graph.New(ga.n)
 	for i := 0; i < ga.n; i++ {
 		for j := i + 1; j < ga.n; j++ {
-			p := pop[parents[stats.WeightedIndex(weights, ga.rng)]]
+			p := pop[parents[stats.WeightedIndex(weights, rng)]]
 			if p.HasEdge(i, j) {
 				child.AddEdge(i, j)
 			}
@@ -373,19 +476,15 @@ func (ga *runner) crossover(pop []*graph.Graph, costs []float64) *graph.Graph {
 }
 
 // mutate creates one offspring by mutating a parent chosen with probability
-// inversely proportional to cost, applying either a link mutation or a node
-// mutation (§4.1.2).
-func (ga *runner) mutate(pop []*graph.Graph, costs []float64) *graph.Graph {
-	weights := make([]float64, len(pop))
-	for i, c := range costs {
-		weights[i] = inverseCostWeight(c)
-	}
-	parent := pop[stats.WeightedIndex(weights, ga.rng)]
+// inversely proportional to cost (weights prepared by prepBreeding),
+// applying either a link mutation or a node mutation (§4.1.2).
+func (ga *runner) mutate(pop []*graph.Graph, rng *stats.RNG, sc *breedScratch) *graph.Graph {
+	parent := pop[stats.WeightedIndex(ga.weights, rng)]
 	child := parent.Clone()
-	if ga.rng.Float64() < ga.s.NodeMutationProb {
-		ga.nodeMutation(child)
+	if rng.Float64() < ga.s.NodeMutationProb {
+		ga.nodeMutation(child, rng, sc)
 	} else {
-		ga.linkMutation(child)
+		ga.linkMutation(child, rng, sc)
 	}
 	child.Connect(ga.e.Dist())
 	return child
@@ -393,23 +492,36 @@ func (ga *runner) mutate(pop []*graph.Graph, costs []float64) *graph.Graph {
 
 // linkMutation removes m+ existing links and adds m− absent links, both
 // geometric(p) counts.
-func (ga *runner) linkMutation(g *graph.Graph) {
-	removals := stats.Geometric(ga.s.LinkMutationGeomP, ga.rng)
-	additions := stats.Geometric(ga.s.LinkMutationGeomP, ga.rng)
+func (ga *runner) linkMutation(g *graph.Graph, rng *stats.RNG, sc *breedScratch) {
+	removals := stats.Geometric(ga.s.LinkMutationGeomP, rng)
+	additions := stats.Geometric(ga.s.LinkMutationGeomP, rng)
 	edges := g.Edges()
-	ga.rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
 	for i := 0; i < removals && i < len(edges); i++ {
 		g.RemoveEdge(edges[i].I, edges[i].J)
 	}
+	if additions == 0 {
+		return
+	}
+	// Enumerate the absent pairs once and draw exactly min(additions,
+	// |absent|) of them by partial Fisher–Yates. The old rejection loop
+	// degenerated on near-complete graphs, where almost every drawn pair
+	// already existed; this loop is deterministically bounded.
 	n := g.N()
-	maxEdges := n * (n - 1) / 2
-	for added := 0; added < additions && g.NumEdges() < maxEdges; {
-		i, j := ga.rng.Intn(n), ga.rng.Intn(n)
-		if i == j || g.HasEdge(i, j) {
-			continue
+	pairs := sc.pairs[:0]
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !g.HasEdge(i, j) {
+				pairs = append(pairs, i*n+j)
+			}
 		}
-		g.AddEdge(i, j)
-		added++
+	}
+	sc.pairs = pairs
+	additions = min(additions, len(pairs))
+	for k := 0; k < additions; k++ {
+		m := k + rng.Intn(len(pairs)-k)
+		pairs[k], pairs[m] = pairs[m], pairs[k]
+		g.AddEdge(pairs[k]/n, pairs[k]%n)
 	}
 }
 
@@ -419,29 +531,48 @@ func (ga *runner) linkMutation(g *graph.Graph) {
 // non-leaf node — without this the repair step tends to re-attach them to
 // the collapsed node, silently reconstituting the hub and trapping the GA
 // in local minima at large k3.
-func (ga *runner) nodeMutation(g *graph.Graph) {
+func (ga *runner) nodeMutation(g *graph.Graph, rng *stats.RNG, sc *breedScratch) {
 	core := g.CoreNodes()
 	if len(core) < 2 {
 		return // nothing to collapse, or no other hub to attach to
 	}
-	v := core[ga.rng.Intn(len(core))]
+	v := core[rng.Intn(len(core))]
 	targets := core[:0:0]
 	for _, h := range core {
 		if h != v {
 			targets = append(targets, h)
 		}
 	}
-	ga.nbuf = g.Neighbors(v, ga.nbuf[:0])
-	for _, u := range ga.nbuf {
+	sc.nbuf = g.Neighbors(v, sc.nbuf[:0])
+	for _, u := range sc.nbuf {
 		g.RemoveEdge(v, u)
 	}
 	dist := ga.e.Dist()
 	g.AddEdge(v, nearestTo(dist, v, targets))
-	for _, u := range ga.nbuf {
+	for _, u := range sc.nbuf {
 		if g.Degree(u) == 0 {
 			g.AddEdge(u, nearestTo(dist, u, targets))
 		}
 	}
+}
+
+// sampleIndices draws k distinct indices uniformly from [0, n) with a
+// partial Fisher–Yates shuffle over the scratch pool: exactly k rng draws
+// and no allocation once the pool is warm. The returned slice aliases the
+// scratch and is valid until the next call on the same scratch.
+func (sc *breedScratch) sampleIndices(n, k int, rng *stats.RNG) []int {
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+	}
+	pool := sc.idx[:n]
+	for i := range pool {
+		pool[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:k]
 }
 
 // nearestTo returns the member of candidates closest to v (lowest index on
@@ -470,20 +601,23 @@ func inverseCostWeight(c float64) float64 {
 }
 
 // bestIndices returns the k smallest values of idxs (population indices;
-// smaller index = cheaper because the population is sorted).
+// smaller index = cheaper because the population is sorted). It reorders
+// idxs in place and returns its prefix.
 func bestIndices(idxs []int, k int) []int {
-	out := append([]int(nil), idxs...)
 	// Partial selection sort: k is tiny (a=2).
-	for i := 0; i < k && i < len(out); i++ {
+	for i := 0; i < k && i < len(idxs); i++ {
 		min := i
-		for j := i + 1; j < len(out); j++ {
-			if out[j] < out[min] {
+		for j := i + 1; j < len(idxs); j++ {
+			if idxs[j] < idxs[min] {
 				min = j
 			}
 		}
-		out[i], out[min] = out[min], out[i]
+		idxs[i], idxs[min] = idxs[min], idxs[i]
 	}
-	return out[:k]
+	if k < len(idxs) {
+		return idxs[:k]
+	}
+	return idxs
 }
 
 // sortByCost sorts pop and costs together, ascending cost. Ties keep a

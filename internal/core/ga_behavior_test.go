@@ -5,11 +5,11 @@ package core
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"github.com/networksynth/cold/internal/cost"
 	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/stats"
 )
 
 // TestTournamentPrefersCheap: with the population sorted by cost, the
@@ -19,7 +19,7 @@ import (
 // parents").
 func TestTournamentPrefersCheap(t *testing.T) {
 	e := ctx(t, 10, cost.DefaultParams(), 61)
-	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(20)), n: 10}
+	ga := newRunner(e, DefaultSettings(), 20)
 	pop := ga.initialPopulation()
 	costs := ga.evaluate(pop)
 	sortByCost(pop, costs)
@@ -27,9 +27,11 @@ func TestTournamentPrefersCheap(t *testing.T) {
 	// Count, over many tournaments, how often each index is among the
 	// chosen parents.
 	counts := make([]int, len(pop))
+	sc := ga.scratches[0]
+	rng := stats.NewRNG(stats.StreamSeed(20))
 	const trials = 20000
 	for i := 0; i < trials; i++ {
-		cand := ga.rng.Perm(len(pop))[:ga.s.TournamentB]
+		cand := sc.sampleIndices(len(pop), ga.s.TournamentB, &rng)
 		for _, idx := range bestIndices(cand, ga.s.TournamentA) {
 			counts[idx]++
 		}
@@ -59,7 +61,8 @@ func TestTournamentPrefersCheap(t *testing.T) {
 // is two (paper §4.1.2).
 func TestLinkMutationAverageChanges(t *testing.T) {
 	e := ctx(t, 14, cost.DefaultParams(), 62)
-	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(21)), n: 14}
+	ga := newRunner(e, DefaultSettings(), 21)
+	sc := ga.scratches[0]
 	base := graph.MST(14, e.Dist())
 	// Add some extra links so removals are rarely clamped.
 	base.AddEdge(0, 5)
@@ -69,7 +72,8 @@ func TestLinkMutationAverageChanges(t *testing.T) {
 	totalChanges := 0
 	for i := 0; i < trials; i++ {
 		g := base.Clone()
-		ga.linkMutation(g)
+		rng := ga.stream(1, i)
+		ga.linkMutation(g, &rng, sc)
 		totalChanges += symmetricDifference(base, g)
 	}
 	mean := float64(totalChanges) / trials
@@ -110,7 +114,7 @@ func TestElitesSurviveExactly(t *testing.T) {
 	s.NumSaved = 4
 	s.NumMutation = 6
 	s.TrackHistory = true
-	res, err := Run(e, s, rand.New(rand.NewSource(22)))
+	res, err := Run(e, s, uint64(22))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +130,7 @@ func TestElitesSurviveExactly(t *testing.T) {
 // depends on it.
 func TestPopulationAllConnected(t *testing.T) {
 	e := ctx(t, 12, cost.DefaultParams(), 64)
-	res, err := Run(e, smallSettings(), rand.New(rand.NewSource(23)))
+	res, err := Run(e, smallSettings(), uint64(23))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +154,7 @@ func TestPopulationConverges(t *testing.T) {
 	s.Generations = 80
 	s.NumSaved = 4
 	s.NumMutation = 12
-	res, err := Run(e, s, rand.New(rand.NewSource(24)))
+	res, err := Run(e, s, uint64(24))
 	if err != nil {
 		t.Fatal(err)
 	}

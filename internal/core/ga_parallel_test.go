@@ -1,8 +1,9 @@
 package core
 
-// Tests for parallel fitness evaluation and context cancellation: a
-// parallel run must be bit-identical to a serial run, because costs land
-// at their population index and every other GA stage stays sequential.
+// Tests for the deterministic-parallel GA: breeding and fitness evaluation
+// both fan out across Settings.Parallelism, and per-offspring rng streams
+// keyed by (runSeed, generation, slot) must make every run bit-identical to
+// serial regardless of worker count, chunking, or evaluation order.
 
 import (
 	"context"
@@ -13,10 +14,11 @@ import (
 
 	"github.com/networksynth/cold/internal/cost"
 	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/graph"
 	"github.com/networksynth/cold/internal/traffic"
 )
 
-func parallelTestEvaluator(t *testing.T, n int, seed int64) *cost.Evaluator {
+func parallelTestEvaluator(t testing.TB, n int, seed int64) *cost.Evaluator {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	pts := geom.NewUniform().Sample(n, rng)
@@ -28,11 +30,11 @@ func parallelTestEvaluator(t *testing.T, n int, seed int64) *cost.Evaluator {
 	return e
 }
 
+// TestRunParallelMatchesSerial: complete bit-identity of a serial run and
+// parallel runs at several worker counts, across several run seeds — best,
+// history, evaluation count, and the entire final population.
 func TestRunParallelMatchesSerial(t *testing.T) {
-	for _, par := range []int{2, 4, 7} {
-		serial := parallelTestEvaluator(t, 14, 9)
-		parallel := parallelTestEvaluator(t, 14, 9)
-
+	for _, seed := range []uint64{5, 77, 90210} {
 		s := DefaultSettings()
 		s.PopulationSize = 24
 		s.Generations = 12
@@ -40,36 +42,74 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 		s.NumMutation = 7
 		s.TrackHistory = true
 
-		a, err := Run(serial, s, rand.New(rand.NewSource(5)))
+		a, err := Run(parallelTestEvaluator(t, 14, 9), s, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.Parallelism = par
-		b, err := Run(parallel, s, rand.New(rand.NewSource(5)))
-		if err != nil {
-			t.Fatal(err)
-		}
+		for _, par := range []int{2, 8} {
+			s.Parallelism = par
+			b, err := Run(parallelTestEvaluator(t, 14, 9), s, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
 
-		if a.BestCost != b.BestCost {
-			t.Fatalf("parallelism %d: best cost %v vs serial %v", par, b.BestCost, a.BestCost)
-		}
-		if !a.Best.Equal(b.Best) {
-			t.Fatalf("parallelism %d: best topology differs from serial", par)
-		}
-		if a.Evaluations != b.Evaluations {
-			t.Fatalf("parallelism %d: %d evaluations vs serial %d", par, b.Evaluations, a.Evaluations)
-		}
-		if len(a.History) != len(b.History) {
-			t.Fatalf("parallelism %d: history lengths differ", par)
-		}
-		for i := range a.History {
-			if a.History[i] != b.History[i] {
-				t.Fatalf("parallelism %d: history diverges at generation %d", par, i)
+			if a.BestCost != b.BestCost {
+				t.Fatalf("seed %d parallelism %d: best cost %v vs serial %v", seed, par, b.BestCost, a.BestCost)
+			}
+			if !a.Best.Equal(b.Best) {
+				t.Fatalf("seed %d parallelism %d: best topology differs from serial", seed, par)
+			}
+			if a.Evaluations != b.Evaluations {
+				t.Fatalf("seed %d parallelism %d: %d evaluations vs serial %d", seed, par, b.Evaluations, a.Evaluations)
+			}
+			if len(a.History) != len(b.History) {
+				t.Fatalf("seed %d parallelism %d: history lengths differ", seed, par)
+			}
+			for i := range a.History {
+				if a.History[i] != b.History[i] {
+					t.Fatalf("seed %d parallelism %d: history diverges at generation %d", seed, par, i)
+				}
+			}
+			for i := range a.Costs {
+				if a.Costs[i] != b.Costs[i] {
+					t.Fatalf("seed %d parallelism %d: final population cost %d differs", seed, par, i)
+				}
+				if !a.Population[i].Equal(b.Population[i]) {
+					t.Fatalf("seed %d parallelism %d: final population member %d differs", seed, par, i)
+				}
 			}
 		}
-		for i := range a.Costs {
-			if a.Costs[i] != b.Costs[i] {
-				t.Fatalf("parallelism %d: final population cost %d differs", par, i)
+	}
+}
+
+// TestBreedIndependentOfWorkerCount exercises the breeding stage in
+// isolation: the offspring written at every slot must be identical whether
+// one goroutine builds them all in order or eight build them chunked — the
+// per-slot streams decouple an offspring's randomness from construction
+// order.
+func TestBreedIndependentOfWorkerCount(t *testing.T) {
+	const seed = 42
+	run := func(par int) []*graph.Graph {
+		s := DefaultSettings()
+		s.PopulationSize = 30
+		s.Generations = 1
+		s.NumSaved = 4
+		s.NumMutation = 9
+		s.Parallelism = par
+		ga := newRunner(parallelTestEvaluator(t, 12, 3), s, seed)
+		pop := ga.initialPopulation()
+		costs := ga.evaluate(pop)
+		sortByCost(pop, costs)
+		next := make([]*graph.Graph, len(pop))
+		ga.breed(1, pop, costs, next)
+		return next
+	}
+	serial := run(1)
+	for _, par := range []int{2, 8} {
+		parallel := run(par)
+		for slot := range serial {
+			if !serial[slot].Equal(parallel[slot]) {
+				t.Fatalf("parallelism %d: offspring at slot %d differs from serial", par, slot)
 			}
 		}
 	}
@@ -86,7 +126,7 @@ func TestRunContextCancelled(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, err := RunContext(ctx, e, s, rand.New(rand.NewSource(1)))
+	_, err := RunContext(ctx, e, s, 1)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
@@ -100,5 +140,34 @@ func TestValidateRejectsNegativeParallelism(t *testing.T) {
 	s.Parallelism = -1
 	if err := s.Validate(); err == nil {
 		t.Fatal("negative parallelism must fail validation")
+	}
+}
+
+// BenchmarkGABreeding isolates the breeding stage (initial population +
+// offspring construction + repair) at serial and parallel settings: the
+// per-offspring streams are what allow the workers4 case to use more than
+// one core. A large population with few generations keeps breeding, not
+// fitness evaluation, the dominant term.
+func BenchmarkGABreeding(b *testing.B) {
+	for _, par := range []int{1, 4} {
+		name := "serial"
+		if par > 1 {
+			name = "workers4"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := DefaultSettings()
+			s.PopulationSize = 120
+			s.Generations = 6
+			s.NumSaved = 12
+			s.NumMutation = 36
+			s.Parallelism = par
+			e := parallelTestEvaluator(b, 20, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(e, s, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -63,7 +63,7 @@ func TestSettingsValidation(t *testing.T) {
 
 func TestRunProducesConnectedResult(t *testing.T) {
 	e := ctx(t, 15, cost.DefaultParams(), 1)
-	res, err := Run(e, smallSettings(), rand.New(rand.NewSource(1)))
+	res, err := Run(e, smallSettings(), uint64(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +93,11 @@ func TestRunProducesConnectedResult(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	e1 := ctx(t, 12, cost.DefaultParams(), 7)
 	e2 := ctx(t, 12, cost.DefaultParams(), 7)
-	r1, err := Run(e1, smallSettings(), rand.New(rand.NewSource(42)))
+	r1, err := Run(e1, smallSettings(), uint64(42))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(e2, smallSettings(), rand.New(rand.NewSource(42)))
+	r2, err := Run(e2, smallSettings(), uint64(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestHistoryMonotoneNonIncreasing(t *testing.T) {
 	e := ctx(t, 15, cost.Params{K0: 10, K1: 1, K2: 4e-4, K3: 10}, 3)
 	s := smallSettings()
 	s.TrackHistory = true
-	res, err := Run(e, s, rand.New(rand.NewSource(9)))
+	res, err := Run(e, s, uint64(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestGABeatsOrMatchesMSTAndClique(t *testing.T) {
 		{K0: 10, K1: 1, K2: 1e-4, K3: 100},
 	} {
 		e := ctx(t, 12, p, 5)
-		res, err := Run(e, smallSettings(), rand.New(rand.NewSource(2)))
+		res, err := Run(e, smallSettings(), uint64(2))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,7 +154,7 @@ func TestInitialisedGABeatsSeeds(t *testing.T) {
 	hs := heuristics.All(e, rand.New(rand.NewSource(3)))
 	s := smallSettings()
 	s.Seeds = heuristics.Graphs(hs)
-	res, err := Run(e, s, rand.New(rand.NewSource(4)))
+	res, err := Run(e, s, uint64(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestGAFindsBruteForceOptimumSmallN(t *testing.T) {
 			s.Generations = 60
 			s.NumSaved = 5
 			s.NumMutation = 14
-			res, err := Run(e, s, rand.New(rand.NewSource(seed+1)))
+			res, err := Run(e, s, uint64(seed+1))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -199,7 +199,7 @@ func TestGAFindsBruteForceOptimumSmallN(t *testing.T) {
 func TestK3DominantGivesStar(t *testing.T) {
 	// When the hub cost dominates, the optimum has a single core node.
 	e := ctx(t, 10, cost.Params{K0: 1, K1: 1, K2: 1e-7, K3: 1e5}, 13)
-	res, err := Run(e, smallSettings(), rand.New(rand.NewSource(5)))
+	res, err := Run(e, smallSettings(), uint64(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,11 +211,11 @@ func TestK3DominantGivesStar(t *testing.T) {
 func TestK2DominantGivesDenser(t *testing.T) {
 	lo := ctx(t, 12, cost.Params{K0: 10, K1: 1, K2: 1e-6, K3: 0}, 17)
 	hi := ctx(t, 12, cost.Params{K0: 10, K1: 1, K2: 5e-2, K3: 0}, 17)
-	rlo, err := Run(lo, smallSettings(), rand.New(rand.NewSource(6)))
+	rlo, err := Run(lo, smallSettings(), uint64(6))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rhi, err := Run(hi, smallSettings(), rand.New(rand.NewSource(6)))
+	rhi, err := Run(hi, smallSettings(), uint64(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,24 +229,27 @@ func TestRunErrors(t *testing.T) {
 	e := ctx(t, 8, cost.DefaultParams(), 1)
 	s := smallSettings()
 	s.PopulationSize = 1
-	if _, err := Run(e, s, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := Run(e, s, uint64(1)); err == nil {
 		t.Error("invalid settings should error")
 	}
 	s = smallSettings()
 	s.Seeds = []*graph.Graph{graph.New(5)}
-	if _, err := Run(e, s, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := Run(e, s, uint64(1)); err == nil {
 		t.Error("wrong-size seed should error")
 	}
 }
 
 func TestMutationPreservesConnectivity(t *testing.T) {
 	e := ctx(t, 12, cost.DefaultParams(), 19)
-	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(7)), n: 12}
+	ga := newRunner(e, DefaultSettings(), 7)
 	pop := ga.initialPopulation()
 	costs := ga.evaluate(pop)
 	sortByCost(pop, costs)
+	ga.prepBreeding(costs)
+	sc := ga.scratches[0]
 	for i := 0; i < 200; i++ {
-		child := ga.mutate(pop, costs)
+		rng := ga.stream(1, i)
+		child := ga.mutate(pop, &rng, sc)
 		if !child.IsConnected() {
 			t.Fatal("mutation produced disconnected child after repair")
 		}
@@ -255,12 +258,14 @@ func TestMutationPreservesConnectivity(t *testing.T) {
 
 func TestCrossoverPreservesConnectivity(t *testing.T) {
 	e := ctx(t, 12, cost.DefaultParams(), 23)
-	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(8)), n: 12}
+	ga := newRunner(e, DefaultSettings(), 8)
 	pop := ga.initialPopulation()
 	costs := ga.evaluate(pop)
 	sortByCost(pop, costs)
+	sc := ga.scratches[0]
 	for i := 0; i < 200; i++ {
-		child := ga.crossover(pop, costs)
+		rng := ga.stream(1, i)
+		child := ga.crossover(pop, costs, &rng, sc)
 		if !child.IsConnected() {
 			t.Fatal("crossover produced disconnected child after repair")
 		}
@@ -278,9 +283,11 @@ func TestCrossoverOfIdenticalParentsIsParent(t *testing.T) {
 		pop[i] = base
 		costs[i] = e.Cost(base)
 	}
-	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(9)), n: 10}
+	ga := newRunner(e, DefaultSettings(), 9)
+	sc := ga.scratches[0]
 	for i := 0; i < 20; i++ {
-		child := ga.crossover(pop, costs)
+		rng := ga.stream(1, i)
+		child := ga.crossover(pop, costs, &rng, sc)
 		if !child.Equal(base) {
 			t.Fatal("crossover of identical parents changed the graph")
 		}
@@ -289,10 +296,11 @@ func TestCrossoverOfIdenticalParentsIsParent(t *testing.T) {
 
 func TestNodeMutationMakesLeaf(t *testing.T) {
 	e := ctx(t, 10, cost.DefaultParams(), 31)
-	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(10)), n: 10}
+	ga := newRunner(e, DefaultSettings(), 10)
 	g := graph.Complete(10)
 	before := len(g.CoreNodes())
-	ga.nodeMutation(g)
+	rng := ga.stream(1, 0)
+	ga.nodeMutation(g, &rng, ga.scratches[0])
 	after := len(g.CoreNodes())
 	if after >= before {
 		t.Errorf("node mutation did not reduce core nodes: %d -> %d", before, after)
@@ -310,13 +318,14 @@ func TestNodeMutationMakesLeaf(t *testing.T) {
 
 func TestNodeMutationOnStarIsNoop(t *testing.T) {
 	e := ctx(t, 6, cost.DefaultParams(), 37)
-	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(11)), n: 6}
+	ga := newRunner(e, DefaultSettings(), 11)
 	star := graph.New(6)
 	for v := 1; v < 6; v++ {
 		star.AddEdge(0, v)
 	}
 	want := star.Clone()
-	ga.nodeMutation(star)
+	rng := ga.stream(1, 0)
+	ga.nodeMutation(star, &rng, ga.scratches[0])
 	if !star.Equal(want) {
 		t.Error("node mutation should be a no-op on a star (single core node)")
 	}
@@ -324,10 +333,12 @@ func TestNodeMutationOnStarIsNoop(t *testing.T) {
 
 func TestLinkMutationBounded(t *testing.T) {
 	e := ctx(t, 8, cost.DefaultParams(), 41)
-	ga := &runner{e: e, s: DefaultSettings(), rng: rand.New(rand.NewSource(12)), n: 8}
+	ga := newRunner(e, DefaultSettings(), 12)
+	sc := ga.scratches[0]
 	for i := 0; i < 100; i++ {
 		g := graph.Complete(8)
-		ga.linkMutation(g)
+		rng := ga.stream(1, i)
+		ga.linkMutation(g, &rng, sc)
 		if g.NumEdges() > 28 {
 			t.Fatal("link mutation exceeded complete graph")
 		}
@@ -335,7 +346,20 @@ func TestLinkMutationBounded(t *testing.T) {
 	// On an empty-ish graph, additions cannot loop forever.
 	g := graph.MST(8, e.Dist())
 	for i := 0; i < 100; i++ {
-		ga.linkMutation(g)
+		rng := ga.stream(2, i)
+		ga.linkMutation(g, &rng, sc)
+	}
+	// Near-complete graphs were the degenerate case for the old rejection
+	// sampler: with one absent pair, additions clamp to it and the loop
+	// stays bounded.
+	for i := 0; i < 200; i++ {
+		g := graph.Complete(8)
+		g.RemoveEdge(0, 1)
+		rng := ga.stream(3, i)
+		ga.linkMutation(g, &rng, sc)
+		if g.NumEdges() > 28 {
+			t.Fatal("link mutation exceeded complete graph from near-complete start")
+		}
 	}
 }
 
@@ -379,7 +403,7 @@ func TestInitialPopulationComposition(t *testing.T) {
 	seed := graph.Complete(10)
 	seed.RemoveEdge(0, 1)
 	s.Seeds = []*graph.Graph{seed}
-	ga := &runner{e: e, s: s, rng: rand.New(rand.NewSource(13)), n: 10}
+	ga := newRunner(e, s, 13)
 	pop := ga.initialPopulation()
 	if len(pop) != s.PopulationSize {
 		t.Fatalf("population size %d", len(pop))
@@ -409,7 +433,7 @@ func TestInitialPopulationComposition(t *testing.T) {
 func TestEvaluationsCounted(t *testing.T) {
 	e := ctx(t, 8, cost.DefaultParams(), 47)
 	s := smallSettings()
-	res, err := Run(e, s, rand.New(rand.NewSource(14)))
+	res, err := Run(e, s, uint64(14))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +448,7 @@ func BenchmarkGAPaperScaleN30(b *testing.B) {
 	s := DefaultSettings()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(e, s, rand.New(rand.NewSource(int64(i)))); err != nil {
+		if _, err := Run(e, s, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -436,7 +460,7 @@ func TestStopAfterStagnant(t *testing.T) {
 	s.Generations = 200
 	s.TrackHistory = true
 	s.StopAfterStagnant = 5
-	res, err := Run(e, s, rand.New(rand.NewSource(15)))
+	res, err := Run(e, s, uint64(15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,13 +483,13 @@ func TestStopAfterStagnantFindsSameQuality(t *testing.T) {
 	e := ctx(t, 10, cost.Params{K0: 10, K1: 1, K2: 4e-4, K3: 10}, 53)
 	full := smallSettings()
 	full.Generations = 80
-	resFull, err := Run(e, full, rand.New(rand.NewSource(16)))
+	resFull, err := Run(e, full, uint64(16))
 	if err != nil {
 		t.Fatal(err)
 	}
 	early := full
 	early.StopAfterStagnant = 15
-	resEarly, err := Run(e, early, rand.New(rand.NewSource(16)))
+	resEarly, err := Run(e, early, uint64(16))
 	if err != nil {
 		t.Fatal(err)
 	}

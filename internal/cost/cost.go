@@ -243,7 +243,7 @@ func (e *Evaluator) Cost(g *graph.Graph) float64 {
 // computeCost is the uncached fast path: routes, accumulates loads, sums
 // the objective. It does not materialize per-edge slices.
 func (e *Evaluator) computeCost(g *graph.Graph) float64 {
-	if !e.routeAndLoad(g) {
+	if !e.routeAndLoad(g, nil) {
 		return math.Inf(1)
 	}
 	p := e.params
@@ -283,7 +283,10 @@ func (e *Evaluator) CostUncached(g *graph.Graph) float64 {
 
 // Evaluate returns the full cost breakdown including capacities and
 // routing. It is not memoized; use it for final results, not in the GA
-// loop.
+// loop. A single all-sources Dijkstra sweep fills both the routing tables
+// and the link loads, and the fused per-edge accumulation mirrors
+// computeCost term for term, so Evaluate(g).Total == Cost(g) exactly (not
+// merely within tolerance).
 func (e *Evaluator) Evaluate(g *graph.Graph) *Evaluation {
 	ev := &Evaluation{}
 	n := e.n
@@ -291,24 +294,12 @@ func (e *Evaluator) Evaluate(g *graph.Graph) *Evaluation {
 		PathDist: make([][]float64, n),
 		Parent:   make([][]int32, n),
 	}
-	connected := true
-	for s := 0; s < n; s++ {
-		e.dijkstra(g, s)
-		rt.PathDist[s] = append([]float64(nil), e.dj.dist...)
-		rt.Parent[s] = append([]int32(nil), e.dj.parent...)
-		for v := 0; v < n; v++ {
-			if math.IsInf(e.dj.dist[v], 1) {
-				connected = false
-			}
-		}
-	}
 	ev.Routing = rt
-	ev.Connected = connected
-	if !connected {
+	ev.Connected = e.routeAndLoad(g, rt)
+	if !ev.Connected {
 		ev.Total = math.Inf(1)
 		return ev
 	}
-	e.routeAndLoad(g)
 	p := e.params
 	ev.Edges = g.Edges()
 	ev.Lengths = make([]float64, len(ev.Edges))
@@ -318,16 +309,17 @@ func (e *Evaluator) Evaluate(g *graph.Graph) *Evaluation {
 		w := e.dj.load[edge.I*n+edge.J]
 		ev.Lengths[i] = l
 		ev.Capacities[i] = w
+		// Accumulate LinkTotal with the same fused expression and edge
+		// order as computeCost; the per-term breakdown fields are summed
+		// separately and agree only to rounding.
 		if e.linkCost != nil {
 			ev.LinkTotal += e.linkCost(l, w)
 		} else {
+			ev.LinkTotal += p.K0 + p.K1*l + p.K2*l*w
 			ev.ExistenceCost += p.K0
 			ev.LengthCost += p.K1 * l
 			ev.BandwidthCost += p.K2 * l * w
 		}
-	}
-	if e.linkCost == nil {
-		ev.LinkTotal = ev.ExistenceCost + ev.LengthCost + ev.BandwidthCost
 	}
 	ev.CoreCount = len(g.CoreNodes())
 	ev.NodeCost = p.K3 * float64(ev.CoreCount)
@@ -340,16 +332,36 @@ func (e *Evaluator) Evaluate(g *graph.Graph) *Evaluation {
 // (symmetric, both triangles). Each unordered PoP pair {s,d} contributes
 // its demand once, as in the paper's Σ_r t_r L_r formulation. Returns false
 // if g is disconnected.
-func (e *Evaluator) routeAndLoad(g *graph.Graph) bool {
+//
+// When rt is non-nil, each source's distance and parent arrays are also
+// copied into it, so one sweep serves both cost accumulation and routing
+// extraction. In that mode all n sources are visited even when the graph
+// turns out disconnected — callers such as failure simulation want the
+// partial tables — whereas with rt == nil the sweep aborts on the first
+// unreachable source.
+func (e *Evaluator) routeAndLoad(g *graph.Graph, rt *Routing) bool {
 	n := e.n
 	load := e.dj.load
 	for i := range load {
 		load[i] = 0
 	}
 	demand := e.tm.Demand
+	connected := true
 	for s := 0; s < n; s++ {
-		if e.dijkstra(g, s) != n {
-			return false
+		reached := e.dijkstra(g, s)
+		if rt != nil {
+			rt.PathDist[s] = append([]float64(nil), e.dj.dist[:n]...)
+			rt.Parent[s] = append([]int32(nil), e.dj.parent[:n]...)
+		}
+		if reached != n {
+			if rt == nil {
+				return false
+			}
+			connected = false
+			continue
+		}
+		if !connected {
+			continue // loads are meaningless; still filling routing tables
 		}
 		parent, order, acc := e.dj.parent, e.dj.order, e.dj.acc
 		for v := 0; v < n; v++ {
@@ -374,7 +386,7 @@ func (e *Evaluator) routeAndLoad(g *graph.Graph) bool {
 			acc[pv] += acc[v]
 		}
 	}
-	return true
+	return connected
 }
 
 // dijkstra computes shortest paths from src over the edges of g weighted by

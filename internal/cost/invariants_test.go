@@ -41,6 +41,64 @@ func TestCostPermutationInvariance(t *testing.T) {
 	}
 }
 
+// TestEvaluateMatchesCostExactly: the full breakdown and the memoized fast
+// path share one routing sweep and one fused accumulation order, so their
+// totals must agree bit for bit — no tolerance. A tolerance here would let
+// the two code paths silently drift apart.
+func TestEvaluateMatchesCostExactly(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(12)
+		pts := geom.NewUniform().Sample(n, rng)
+		pops := traffic.NewExponential().Sample(n, rng)
+		p := Params{K0: 10, K1: 1, K2: 3e-4, K3: 12}
+		e := MustNewEvaluator(geom.DistanceMatrix(pts), traffic.Gravity(pops, 1), p)
+		g := randomConnected(rng, n, 0.3, e.Dist())
+		ev := e.Evaluate(g)
+		if c := e.Cost(g); ev.Total != c {
+			t.Fatalf("seed %d: Evaluate total %v != Cost %v (diff %g)", seed, ev.Total, c, ev.Total-c)
+		}
+		if sum := ev.LinkTotal + ev.NodeCost; ev.Total != sum {
+			t.Fatalf("seed %d: Total %v != LinkTotal+NodeCost %v", seed, ev.Total, sum)
+		}
+	}
+}
+
+// TestEvaluateDisconnectedKeepsRouting: on a disconnected graph Evaluate
+// reports infinite cost but must still return full per-source routing
+// tables (failure simulation walks them to find stranded demand).
+func TestEvaluateDisconnectedKeepsRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 10
+	pts := geom.NewUniform().Sample(n, rng)
+	pops := traffic.NewExponential().Sample(n, rng)
+	e := MustNewEvaluator(geom.DistanceMatrix(pts), traffic.Gravity(pops, 1), DefaultParams())
+	g := randomConnected(rng, n, 0.3, e.Dist())
+	// Isolate node 0 entirely.
+	for j := 1; j < n; j++ {
+		g.RemoveEdge(0, j)
+	}
+	ev := e.Evaluate(g)
+	if ev.Connected || !math.IsInf(ev.Total, 1) {
+		t.Fatalf("disconnected graph evaluated as connected (total %v)", ev.Total)
+	}
+	if len(ev.Routing.PathDist) != n || len(ev.Routing.Parent) != n {
+		t.Fatalf("routing tables incomplete: %d/%d sources", len(ev.Routing.PathDist), n)
+	}
+	for s := 0; s < n; s++ {
+		if len(ev.Routing.PathDist[s]) != n {
+			t.Fatalf("source %d routing table missing", s)
+		}
+	}
+	// Within the big component the tables are still usable.
+	if math.IsInf(ev.Routing.PathDist[1][2], 1) {
+		t.Fatal("intra-component path lost")
+	}
+	if !math.IsInf(ev.Routing.PathDist[1][0], 1) {
+		t.Fatal("isolated node reported reachable")
+	}
+}
+
 // TestTrafficScalingOnlyScalesBandwidth: multiplying the traffic matrix by
 // s multiplies exactly the bandwidth component by s.
 func TestTrafficScalingOnlyScalesBandwidth(t *testing.T) {

@@ -159,7 +159,7 @@ func gaSettings(o Options) core.Settings {
 
 // runGA runs the plain GA on a context.
 func runGA(e *cost.Evaluator, o Options, rng *rand.Rand) *core.Result {
-	res, err := core.Run(e, gaSettings(o), rng)
+	res, err := core.Run(e, gaSettings(o), rng.Uint64())
 	if err != nil {
 		panic(fmt.Sprintf("experiments: GA error: %v", err))
 	}
@@ -171,7 +171,7 @@ func runGA(e *cost.Evaluator, o Options, rng *rand.Rand) *core.Result {
 func runInitGA(e *cost.Evaluator, o Options, rng *rand.Rand) *core.Result {
 	s := gaSettings(o)
 	s.Seeds = heuristics.Graphs(heuristics.All(e, rng))
-	res, err := core.Run(e, s, rng)
+	res, err := core.Run(e, s, rng.Uint64())
 	if err != nil {
 		panic(fmt.Sprintf("experiments: GA error: %v", err))
 	}

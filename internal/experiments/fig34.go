@@ -56,7 +56,7 @@ func Fig3(k3 float64, o Options) *Table {
 			// paper's argument in §5.
 			s := gaSettings(o)
 			s.Seeds = append(heuristics.Graphs(hs), plain.Best)
-			init, err := core.Run(e, s, rng)
+			init, err := core.Run(e, s, rng.Uint64())
 			if err != nil {
 				panic(err)
 			}

@@ -125,7 +125,7 @@ func BootstrapMeanCI(xs []float64, confidence float64, resamples int, rng *rand.
 // Geometric(0.5), "giving an average of two link changes each time a
 // mutation occurs" — i.e. each count has mean 1 and together they average
 // two changes. Panics if p is not in (0, 1].
-func Geometric(p float64, rng *rand.Rand) int {
+func Geometric(p float64, rng Source) int {
 	if p <= 0 || p > 1 {
 		panic(fmt.Sprintf("stats: geometric parameter %v out of (0,1]", p))
 	}
@@ -173,7 +173,7 @@ func Poisson(mean float64, rng *rand.Rand) int {
 // WeightedIndex picks an index with probability proportional to weights[i].
 // It panics if no weight is positive or any weight is negative or NaN. The
 // GA uses it with weights 1/cost for parent selection.
-func WeightedIndex(weights []float64, rng *rand.Rand) int {
+func WeightedIndex(weights []float64, rng Source) int {
 	var total float64
 	for _, w := range weights {
 		if w < 0 || math.IsNaN(w) {

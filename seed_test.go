@@ -1,0 +1,108 @@
+package cold
+
+// Regression tests for replica-seed derivation. The original scheme,
+//
+//	replicaSeed(seed, i) = seed + i*K  with  K = 0x5851F42D4C957F2D,
+//
+// has an additive collision family: replicaSeed(s, i+d) equals
+// replicaSeed(s+d*K, i), so ensembles whose base seeds differ by a
+// multiple of K shared member streams wholesale — their "independent"
+// runs produced identical networks shifted by d positions. The hashed
+// derivation (stats.StreamSeed over (seed, replicaTag, i)) has no such
+// structure.
+
+import (
+	"testing"
+)
+
+// oldReplicaSeed is the pre-fix derivation, kept here so the regression
+// tests below demonstrably fail against it.
+func oldReplicaSeed(seed int64, i int) int64 {
+	return seed + int64(i)*0x5851F42D4C957F2D
+}
+
+// collidingBases returns base seeds s and s+d*K computed at runtime —
+// the product overflows int64, and Go wraps two's-complement exactly as
+// the old derivation did, while a constant expression would not compile.
+func collidingBases(s int64, d int) (int64, int64) {
+	const k = 0x5851F42D4C957F2D
+	shifted := s
+	for j := 0; j < d; j++ {
+		shifted += k
+	}
+	return s, shifted
+}
+
+// TestReplicaSeedNoAdditiveCollisions: the fixed derivation must break
+// the collision family entirely. The same assertions fail against
+// oldReplicaSeed for every (s, d, i) checked — verified by the
+// old-derivation guard below.
+func TestReplicaSeedNoAdditiveCollisions(t *testing.T) {
+	for _, s := range []int64{1, 42, 1 << 33} {
+		for d := 1; d < 4; d++ {
+			base, shifted := collidingBases(s, d)
+			for i := 0; i < 8; i++ {
+				if oldReplicaSeed(base, i+d) != oldReplicaSeed(shifted, i) {
+					t.Fatalf("old derivation no longer collides at s=%d d=%d i=%d — guard is stale", s, d, i)
+				}
+				if replicaSeed(base, i+d) == replicaSeed(shifted, i) {
+					t.Errorf("replicaSeed collision: (%d, %d) == (%d, %d)", base, i+d, shifted, i)
+				}
+			}
+		}
+	}
+}
+
+// TestReplicaSeedDistinctWithinEnsemble: members of one ensemble must
+// all receive distinct seeds, across several nearby base seeds — nearby
+// bases were exactly the regime where the old additive scheme produced
+// correlated streams.
+func TestReplicaSeedDistinctWithinEnsemble(t *testing.T) {
+	seen := make(map[int64][2]int64)
+	for base := int64(0); base < 16; base++ {
+		for i := 0; i < 64; i++ {
+			s := replicaSeed(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("replicaSeed(%d, %d) duplicates replicaSeed(%d, %d)", base, i, prev[0], prev[1])
+			}
+			seen[s] = [2]int64{base, int64(i)}
+		}
+	}
+}
+
+// TestEnsemblesWithCollidingBasesDiffer builds two small ensembles whose
+// base seeds sit exactly a multiple of the old increment apart and
+// checks the generated member networks are fully distinct. Under the old
+// derivation the second ensemble's members 0..2 were bit-identical to
+// the first's members 1..3 (same geography, same topology).
+func TestEnsemblesWithCollidingBasesDiffer(t *testing.T) {
+	base, shifted := collidingBases(5, 1)
+	const members = 4
+	a, err := GenerateEnsemble(fastConfig(10, base), members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateEnsemble(fastConfig(10, shifted), members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < members; i++ {
+		for j := 0; j < members; j++ {
+			if samePoints(a[i], b[j]) {
+				t.Errorf("ensemble member a[%d] shares its geography with b[%d] — replica streams overlap", i, j)
+			}
+		}
+	}
+}
+
+func samePoints(a, b *Network) bool {
+	if len(a.Points) != len(b.Points) {
+		return false
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			return false
+		}
+	}
+	return true
+}
