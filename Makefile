@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench ensemble
+.PHONY: build test vet race check bench fuzz ensemble
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,14 @@ check: build vet race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Short fuzzing smoke on the evaluator equivalence targets (CI runs this;
+# crank -fuzztime locally for a real session). Corpora live under
+# internal/cost/testdata/fuzz/.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/cost -run '^$$' -fuzz FuzzDijkstraEquivalence -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cost -run '^$$' -fuzz FuzzEvaluateDelta -fuzztime $(FUZZTIME)
 
 # Serial-vs-parallel ensemble throughput on this machine.
 ensemble:

@@ -8,7 +8,8 @@
 //	coldbench all
 //
 // Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9
-// brute context routers ensemble breeding all. Figures 5–7 share one sweep,
+// brute context routers dijkstra ensemble breeding all. Figures 5–7 share one
+// sweep,
 // as do 8b and 9, so requesting several of them together reuses the runs.
 package main
 
@@ -47,10 +48,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		return fmt.Errorf("no experiment given; try: coldbench all (options: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 brute context routers extras ensemble breeding)")
+		return fmt.Errorf("no experiment given; try: coldbench all (options: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 brute context routers dijkstra extras ensemble breeding)")
 	}
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9", "brute", "context", "routers", "extras", "ensemble", "breeding"}
+		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9", "brute", "context", "routers", "dijkstra", "extras", "ensemble", "breeding"}
 	}
 
 	// Shared sweeps, computed at most once.
@@ -102,6 +103,8 @@ func run(args []string, stdout io.Writer) error {
 			tables = []*experiments.Table{experiments.ContextSensitivity(o)}
 		case "routers":
 			tables = []*experiments.Table{experiments.RouterSpread(o)}
+		case "dijkstra":
+			tables = []*experiments.Table{experiments.DijkstraKernels(o)}
 		case "extras":
 			tables = []*experiments.Table{experiments.ExtraFeatures(0, o)}
 		case "ensemble":

@@ -85,3 +85,14 @@ func TestRunRoutersAndExtras(t *testing.T) {
 		}
 	}
 }
+
+func TestRunDijkstraExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(append(fastFlags, "dijkstra"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "evaluator kernels") || !strings.Contains(s, "heap speedup") {
+		t.Errorf("output malformed:\n%s", s)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"github.com/networksynth/cold/internal/cost"
@@ -257,6 +258,29 @@ type runner struct {
 	// weights are the parent-selection weights (1/cost) of the current
 	// generation, rebuilt by prepBreeding and read-only during fan-out.
 	weights []float64
+
+	// lineage[slot] records how the current offspring at slot was derived
+	// from the previous generation, so evaluate can route small edits
+	// through cost.Evaluator.CostDelta. Nil when the evaluator's delta
+	// path is off. bred marks the lineage valid (set by breed, false for
+	// the initial population).
+	lineage     []lineage
+	bred        bool
+	deltaBudget int
+
+	// evaluate scratch for the lineage-grouped evaluation order.
+	evalOrd    []int
+	evalGroup  []bool
+	groupCount []int
+}
+
+// lineage ties an offspring to the parent it was derived from and the edge
+// edits between them. parentIdx < 0 means no usable lineage (elite copies,
+// offspring that drifted past the delta edge budget, or identical twins).
+type lineage struct {
+	parentIdx int32
+	parent    *graph.Graph
+	changed   []graph.Edge
 }
 
 // breedScratch holds the per-goroutine buffers offspring construction
@@ -283,6 +307,13 @@ func newRunner(e *cost.Evaluator, s Settings, seed uint64) *runner {
 		for i := 1; i < s.Parallelism; i++ {
 			ga.workers[i] = e.Clone()
 		}
+	}
+	if e.DeltaEnabled() {
+		ga.lineage = make([]lineage, s.PopulationSize)
+		for i := range ga.lineage {
+			ga.lineage[i].parentIdx = -1
+		}
+		ga.deltaBudget = e.DeltaEdgeBudget()
 	}
 	return ga
 }
@@ -395,54 +426,151 @@ func (ga *runner) breed(gen int, pop []*graph.Graph, costs []float64, next []*gr
 	ga.prepBreeding(costs)
 	elite := min(ga.s.NumSaved, len(pop))
 	copy(next[:elite], pop[:elite])
+	for slot := 0; slot < elite && ga.lineage != nil; slot++ {
+		ga.lineage[slot].parentIdx = -1 // elite are verbatim; memo cache hits
+	}
 	mutEnd := elite + ga.s.NumMutation
 	ga.forSlots(elite, len(next), func(slot int, sc *breedScratch) {
 		rng := ga.stream(gen, slot)
+		var child *graph.Graph
+		var pi int
 		if slot < mutEnd {
-			next[slot] = ga.mutate(pop, &rng, sc)
+			child, pi = ga.mutate(pop, &rng, sc)
 		} else {
-			next[slot] = ga.crossover(pop, costs, &rng, sc)
+			child, pi = ga.crossover(pop, costs, &rng, sc)
 		}
+		next[slot] = child
+		ga.recordLineage(slot, pop, pi, child)
 	})
+	ga.bred = ga.lineage != nil
+}
+
+// recordLineage remembers (for the upcoming evaluate) that next[slot] was
+// derived from pop[pi], along with the edge edits between them — but only
+// when the edit is small enough for the evaluator's delta path to accept.
+// Each fan-out goroutine writes only its own slot.
+func (ga *runner) recordLineage(slot int, pop []*graph.Graph, pi int, child *graph.Graph) {
+	if ga.lineage == nil {
+		return
+	}
+	lin := &ga.lineage[slot]
+	lin.parentIdx = -1
+	lin.parent = nil
+	if pi < 0 {
+		return
+	}
+	parent := pop[pi]
+	if d := parent.DiffCount(child); d == 0 || d > ga.deltaBudget {
+		return
+	}
+	lin.parentIdx = int32(pi)
+	lin.parent = parent
+	lin.changed = parent.Diff(child, lin.changed[:0])
 }
 
 // evaluate computes the cost of every member of pop. With workers it chunks
-// the population across goroutines; costs land at their population index,
-// so the result is identical to the serial loop.
+// the evaluation order across goroutines; costs land at their population
+// index, so the result is identical to the serial loop. When the evaluator's
+// delta path is on and lineage is valid, slots are visited grouped by parent
+// so that siblings mutated from one parent share a single delta-priming
+// sweep through CostDelta — which returns values bit-identical to Cost, so
+// the grouping changes speed only.
 func (ga *runner) evaluate(pop []*graph.Graph) []float64 {
 	costs := make([]float64, len(pop))
 	ga.evals += uint64(len(pop))
+	order, grouped := ga.evalOrder(len(pop))
+	eval := func(ev *cost.Evaluator, i int) {
+		if grouped != nil && grouped[i] {
+			lin := &ga.lineage[i]
+			costs[i] = ev.CostDelta(lin.parent, pop[i], lin.changed)
+			return
+		}
+		costs[i] = ev.Cost(pop[i])
+	}
 	if w := len(ga.workers); w > 1 && len(pop) > 1 {
 		nw := min(w, len(pop))
-		chunk := (len(pop) + nw - 1) / nw
+		chunk := (len(order) + nw - 1) / nw
 		var wg sync.WaitGroup
 		for k := 0; k < nw; k++ {
 			lo := k * chunk
-			hi := min(lo+chunk, len(pop))
+			hi := min(lo+chunk, len(order))
 			if lo >= hi {
 				break
 			}
 			wg.Add(1)
 			go func(ev *cost.Evaluator, lo, hi int) {
 				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					costs[i] = ev.Cost(pop[i])
+				for _, i := range order[lo:hi] {
+					eval(ev, i)
 				}
 			}(ga.workers[k], lo, hi)
 		}
 		wg.Wait()
 		return costs
 	}
-	for i, g := range pop {
-		costs[i] = ga.e.Cost(g)
+	for _, i := range order {
+		eval(ga.e, i)
 	}
 	return costs
 }
 
+// evalOrder returns the slot visit order for evaluate and, when lineage is
+// usable, a per-slot flag selecting the delta path. Slots are stably sorted
+// so same-parent siblings are adjacent (lineage-less slots first); only
+// parents with at least two delta-eligible children are grouped — priming a
+// parent's shortest-path state costs a full sweep, so a lone child would
+// make the delta path a pessimization.
+func (ga *runner) evalOrder(m int) ([]int, []bool) {
+	if cap(ga.evalOrd) < m {
+		ga.evalOrd = make([]int, m)
+	}
+	order := ga.evalOrd[:m]
+	for i := range order {
+		order[i] = i
+	}
+	if !ga.bred || len(ga.lineage) < m {
+		return order, nil
+	}
+	if cap(ga.groupCount) < m {
+		ga.groupCount = make([]int, m)
+		ga.evalGroup = make([]bool, m)
+	}
+	counts := ga.groupCount[:m]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		if pi := ga.lineage[i].parentIdx; pi >= 0 {
+			counts[pi]++
+		}
+	}
+	grouped := ga.evalGroup[:m]
+	any := false
+	for i := 0; i < m; i++ {
+		pi := ga.lineage[i].parentIdx
+		grouped[i] = pi >= 0 && counts[pi] >= 2
+		any = any || grouped[i]
+	}
+	if !any {
+		return order, nil
+	}
+	key := func(i int) int32 {
+		if grouped[i] {
+			return ga.lineage[i].parentIdx
+		}
+		return -1
+	}
+	sort.SliceStable(order, func(a, b int) bool { return key(order[a]) < key(order[b]) })
+	return order, grouped
+}
+
 // crossover creates one offspring: tournament-pick b candidates, keep the
 // best a as parents, then copy each potential link from a parent chosen
-// with probability inversely proportional to its cost.
-func (ga *runner) crossover(pop []*graph.Graph, costs []float64, rng *stats.RNG, sc *breedScratch) *graph.Graph {
+// with probability inversely proportional to its cost. The second return is
+// the cheapest tournament parent's population index — the lineage base for
+// delta evaluation (crossover children usually drift past the edge budget,
+// in which case recordLineage drops them).
+func (ga *runner) crossover(pop []*graph.Graph, costs []float64, rng *stats.RNG, sc *breedScratch) (*graph.Graph, int) {
 	a, b := ga.s.TournamentA, ga.s.TournamentB
 	if b > len(pop) {
 		b = len(pop)
@@ -472,22 +600,24 @@ func (ga *runner) crossover(pop []*graph.Graph, costs []float64, rng *stats.RNG,
 		}
 	}
 	child.Connect(ga.e.Dist())
-	return child
+	return child, parents[0]
 }
 
 // mutate creates one offspring by mutating a parent chosen with probability
 // inversely proportional to cost (weights prepared by prepBreeding),
-// applying either a link mutation or a node mutation (§4.1.2).
-func (ga *runner) mutate(pop []*graph.Graph, rng *stats.RNG, sc *breedScratch) *graph.Graph {
-	parent := pop[stats.WeightedIndex(ga.weights, rng)]
-	child := parent.Clone()
+// applying either a link mutation or a node mutation (§4.1.2). The second
+// return is the parent's population index, the lineage base for delta
+// evaluation.
+func (ga *runner) mutate(pop []*graph.Graph, rng *stats.RNG, sc *breedScratch) (*graph.Graph, int) {
+	pi := stats.WeightedIndex(ga.weights, rng)
+	child := pop[pi].Clone()
 	if rng.Float64() < ga.s.NodeMutationProb {
 		ga.nodeMutation(child, rng, sc)
 	} else {
 		ga.linkMutation(child, rng, sc)
 	}
 	child.Connect(ga.e.Dist())
-	return child
+	return child, pi
 }
 
 // linkMutation removes m+ existing links and adds m− absent links, both

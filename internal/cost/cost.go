@@ -5,11 +5,17 @@
 //	Σ_{i∈E} (k0 + k1·ℓ_i + k2·ℓ_i·w_i)  +  k3·|{j : degree(j) > 1}|
 //
 // The Evaluator is the hot path of the whole system — the genetic algorithm
-// calls Cost on every candidate in every generation — so it routes with an
-// array-based Dijkstra (optimal at PoP scale), accumulates link loads along
-// shortest-path trees in O(n log n) per source, reuses scratch buffers, and
-// memoizes results by graph hash (GA populations converge, so identical
-// candidates recur constantly).
+// calls Cost on every candidate in every generation — so it routes with one
+// of two bit-identical Dijkstra kernels (an array-based linear scan for
+// small contexts, an indexed binary heap with decrease-key above
+// Options.HeapThreshold), accumulates link loads along shortest-path trees
+// in O(n) per source, reuses scratch buffers, and memoizes results by graph
+// hash (GA populations converge, so identical candidates recur constantly).
+// For the GA's small edits (single-link mutations) the incremental
+// CostDelta/EvaluateDelta path re-runs Dijkstra only from sources whose
+// shortest-path tree can be affected, with distance-bound pruning, and
+// falls back to the full sweep otherwise — again bit-identical to the full
+// evaluation (the equivalence test suite enforces all of this).
 package cost
 
 import (
@@ -130,15 +136,29 @@ type Evaluator struct {
 
 	n int
 
+	// Resolved Options: which Dijkstra kernel runs and whether the
+	// incremental delta path is live.
+	opts        Options
+	useHeap     bool
+	deltaOn     bool
+	deltaBudget int
+
 	// Dijkstra scratch.
 	dj struct {
-		dist   []float64
-		parent []int32
-		done   []bool
-		order  []int
-		acc    []float64
-		load   []float64 // n×n flattened link loads
+		dist     []float64
+		parent   []int32
+		done     []bool
+		order    []int32
+		acc      []float64
+		load     []float64 // n×n flattened link loads
+		hnodes   []int32   // heap kernel: node storage
+		hpos     []int32   // heap kernel: position index
+		affected []bool    // delta path: per-source recompute marks
 	}
+
+	// delta is the retained base state of the incremental path (see
+	// delta.go). Per-Evaluator, never shared across Clones.
+	delta deltaState
 
 	// Memoized costs keyed by graph hash, verified against a stored clone
 	// to rule out collisions. Shared (and safe to share) across Clones.
@@ -149,9 +169,17 @@ type Evaluator struct {
 // cache resets.
 const DefaultCacheLimit = 1 << 16
 
-// NewEvaluator builds an evaluator for a context. dist must be an n×n
-// symmetric matrix of PoP distances and tm an n-PoP traffic matrix.
+// NewEvaluator builds an evaluator for a context with default Options
+// (heap kernel and delta path on Auto). dist must be an n×n symmetric
+// matrix of PoP distances and tm an n-PoP traffic matrix.
 func NewEvaluator(dist [][]float64, tm *traffic.Matrix, params Params) (*Evaluator, error) {
+	return NewEvaluatorOptions(dist, tm, params, Options{})
+}
+
+// NewEvaluatorOptions is NewEvaluator with explicit evaluation Options.
+// Every Options setting returns bit-identical results; Options trade only
+// speed and memory, and tests use them to force specific code paths.
+func NewEvaluatorOptions(dist [][]float64, tm *traffic.Matrix, params Params, opts Options) (*Evaluator, error) {
 	n := len(dist)
 	if tm.N() != n {
 		return nil, fmt.Errorf("cost: distance matrix is %d×%d but traffic matrix has %d PoPs", n, n, tm.N())
@@ -164,9 +192,21 @@ func NewEvaluator(dist [][]float64, tm *traffic.Matrix, params Params) (*Evaluat
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	e := &Evaluator{dist: dist, tm: tm, params: params, n: n, cache: newSharedCache(DefaultCacheLimit)}
+	e.setOptions(opts)
 	e.initScratch()
 	return e, nil
+}
+
+// setOptions resolves opts against the context size.
+func (e *Evaluator) setOptions(opts Options) {
+	e.opts = opts
+	e.useHeap = opts.Heap.enabled(e.n, opts.heapThreshold())
+	e.deltaOn = opts.Delta.enabled(e.n, opts.deltaThreshold())
+	e.deltaBudget = opts.deltaEdgeBudget()
 }
 
 func (e *Evaluator) initScratch() {
@@ -174,9 +214,16 @@ func (e *Evaluator) initScratch() {
 	e.dj.dist = make([]float64, n)
 	e.dj.parent = make([]int32, n)
 	e.dj.done = make([]bool, n)
-	e.dj.order = make([]int, n)
+	e.dj.order = make([]int32, n)
 	e.dj.acc = make([]float64, n)
 	e.dj.load = make([]float64, n*n)
+	if e.useHeap {
+		e.dj.hnodes = make([]int32, 0, n)
+		e.dj.hpos = make([]int32, n)
+	}
+	if e.deltaOn {
+		e.dj.affected = make([]bool, n)
+	}
 }
 
 // Clone returns an Evaluator for the same context that may be used from a
@@ -187,6 +234,7 @@ func (e *Evaluator) initScratch() {
 // must still use its own Evaluator.
 func (e *Evaluator) Clone() *Evaluator {
 	c := &Evaluator{dist: e.dist, tm: e.tm, params: e.params, linkCost: e.linkCost, n: e.n, cache: e.cache}
+	c.setOptions(e.opts)
 	c.initScratch()
 	return c
 }
@@ -243,9 +291,17 @@ func (e *Evaluator) Cost(g *graph.Graph) float64 {
 // computeCost is the uncached fast path: routes, accumulates loads, sums
 // the objective. It does not materialize per-edge slices.
 func (e *Evaluator) computeCost(g *graph.Graph) float64 {
-	if !e.routeAndLoad(g, nil) {
+	if !e.routeAndLoad(g, nil, false) {
 		return math.Inf(1)
 	}
+	return e.sumCost(g)
+}
+
+// sumCost folds e.dj.load into the objective for g: Σ per-link costs plus
+// the k3 hub term. Both the full sweep and the delta path finish through
+// this one accumulation, so their totals are bit-identical whenever the
+// loads are.
+func (e *Evaluator) sumCost(g *graph.Graph) float64 {
 	p := e.params
 	var linkCost float64
 	core := 0
@@ -295,12 +351,27 @@ func (e *Evaluator) Evaluate(g *graph.Graph) *Evaluation {
 		Parent:   make([][]int32, n),
 	}
 	ev.Routing = rt
-	ev.Connected = e.routeAndLoad(g, rt)
+	// When the delta path is live, record the per-source tables so a
+	// following EvaluateDelta can re-route incrementally from this graph.
+	ev.Connected = e.routeAndLoad(g, rt, e.deltaOn)
+	if e.deltaOn {
+		e.delta.finishRecord(e, g, ev.Connected)
+	}
 	if !ev.Connected {
 		ev.Total = math.Inf(1)
 		return ev
 	}
+	e.fillBreakdown(ev, g)
+	return ev
+}
+
+// fillBreakdown completes an Evaluation whose routing succeeded: per-edge
+// slices, the fused LinkTotal (same expression and edge order as sumCost,
+// so Evaluate(g).Total == Cost(g) exactly), the per-term breakdown, and
+// the node cost. Callers must have e.dj.load filled for g.
+func (e *Evaluator) fillBreakdown(ev *Evaluation, g *graph.Graph) {
 	p := e.params
+	n := e.n
 	ev.Edges = g.Edges()
 	ev.Lengths = make([]float64, len(ev.Edges))
 	ev.Capacities = make([]float64, len(ev.Edges))
@@ -310,7 +381,7 @@ func (e *Evaluator) Evaluate(g *graph.Graph) *Evaluation {
 		ev.Lengths[i] = l
 		ev.Capacities[i] = w
 		// Accumulate LinkTotal with the same fused expression and edge
-		// order as computeCost; the per-term breakdown fields are summed
+		// order as sumCost; the per-term breakdown fields are summed
 		// separately and agree only to rounding.
 		if e.linkCost != nil {
 			ev.LinkTotal += e.linkCost(l, w)
@@ -324,7 +395,6 @@ func (e *Evaluator) Evaluate(g *graph.Graph) *Evaluation {
 	ev.CoreCount = len(g.CoreNodes())
 	ev.NodeCost = p.K3 * float64(ev.CoreCount)
 	ev.Total = ev.LinkTotal + ev.NodeCost
-	return ev
 }
 
 // routeAndLoad runs Dijkstra from every source and accumulates the traffic
@@ -338,14 +408,18 @@ func (e *Evaluator) Evaluate(g *graph.Graph) *Evaluation {
 // extraction. In that mode all n sources are visited even when the graph
 // turns out disconnected — callers such as failure simulation want the
 // partial tables — whereas with rt == nil the sweep aborts on the first
-// unreachable source.
-func (e *Evaluator) routeAndLoad(g *graph.Graph, rt *Routing) bool {
+// unreachable source. When record is set, the per-source tables are also
+// copied into the delta state (the caller then finishes the recording with
+// deltaState.finishRecord).
+func (e *Evaluator) routeAndLoad(g *graph.Graph, rt *Routing, record bool) bool {
 	n := e.n
 	load := e.dj.load
 	for i := range load {
 		load[i] = 0
 	}
-	demand := e.tm.Demand
+	if record {
+		e.delta.ensure(n)
+	}
 	connected := true
 	for s := 0; s < n; s++ {
 		reached := e.dijkstra(g, s)
@@ -353,8 +427,11 @@ func (e *Evaluator) routeAndLoad(g *graph.Graph, rt *Routing) bool {
 			rt.PathDist[s] = append([]float64(nil), e.dj.dist[:n]...)
 			rt.Parent[s] = append([]int32(nil), e.dj.parent[:n]...)
 		}
+		if record {
+			e.delta.copyFromScratch(e, s)
+		}
 		if reached != n {
-			if rt == nil {
+			if rt == nil && !record {
 				return false
 			}
 			connected = false
@@ -363,39 +440,58 @@ func (e *Evaluator) routeAndLoad(g *graph.Graph, rt *Routing) bool {
 		if !connected {
 			continue // loads are meaningless; still filling routing tables
 		}
-		parent, order, acc := e.dj.parent, e.dj.order, e.dj.acc
-		for v := 0; v < n; v++ {
-			if v > s {
-				acc[v] = demand[s][v]
-			} else {
-				acc[v] = 0
-			}
-		}
-		// Push demands down the shortest-path tree from the leaves.
-		// Dijkstra finalizes nodes in increasing distance order, so
-		// walking its finalization order backwards visits every node
-		// after all of its tree descendants.
-		for k := n - 1; k >= 1; k-- {
-			v := order[k]
-			if acc[v] == 0 {
-				continue
-			}
-			pv := int(parent[v])
-			load[v*n+pv] += acc[v]
-			load[pv*n+v] += acc[v]
-			acc[pv] += acc[v]
-		}
+		e.pushLoads(s, e.dj.parent, e.dj.order)
 	}
 	return connected
 }
 
+// pushLoads adds source s's demand contribution to e.dj.load by pushing
+// demands down the source's shortest-path tree from the leaves: Dijkstra
+// finalizes nodes in increasing distance order, so walking the finalization
+// order backwards visits every node after all of its tree descendants. Each
+// unordered pair {s,d} is accounted once, at its lower-indexed endpoint.
+// The full sweep and the delta path both accumulate through this helper in
+// ascending source order, which keeps their floating-point sums
+// bit-identical.
+func (e *Evaluator) pushLoads(s int, parent, order []int32) {
+	n := e.n
+	load, acc, demand := e.dj.load, e.dj.acc, e.tm.Demand
+	for v := 0; v < n; v++ {
+		if v > s {
+			acc[v] = demand[s][v]
+		} else {
+			acc[v] = 0
+		}
+	}
+	for k := n - 1; k >= 1; k-- {
+		v := int(order[k])
+		if acc[v] == 0 {
+			continue
+		}
+		pv := int(parent[v])
+		load[v*n+pv] += acc[v]
+		load[pv*n+v] += acc[v]
+		acc[pv] += acc[v]
+	}
+}
+
 // dijkstra computes shortest paths from src over the edges of g weighted by
-// physical distance, into the scratch buffers. Array-based O(n²): for PoP
-// counts (rarely above 100, per the paper) this beats heap-based variants.
-// Ties break toward lower node indices for determinism. The finalization
-// order (increasing distance) is recorded in e.dj.order; the return value
-// is the number of reachable (finalized) nodes.
+// physical distance, into the scratch buffers, dispatching to the kernel
+// selected by Options (linear scan below the heap threshold, indexed heap
+// above). Both kernels break ties toward lower node indices and are
+// bit-identical in distances, parents and finalization order. The
+// finalization order (increasing distance) is recorded in e.dj.order; the
+// return value is the number of reachable (finalized) nodes.
 func (e *Evaluator) dijkstra(g *graph.Graph, src int) int {
+	if e.useHeap {
+		return e.dijkstraHeap(g, src)
+	}
+	return e.dijkstraLinear(g, src)
+}
+
+// dijkstraLinear is the array-based O(n²) kernel: for small PoP counts its
+// branch-free scan beats heap bookkeeping.
+func (e *Evaluator) dijkstraLinear(g *graph.Graph, src int) int {
 	n := e.n
 	dist, parent, done, order := e.dj.dist, e.dj.parent, e.dj.done, e.dj.order
 	for i := 0; i < n; i++ {
@@ -416,7 +512,7 @@ func (e *Evaluator) dijkstra(g *graph.Graph, src int) int {
 			return count // remaining nodes unreachable
 		}
 		done[u] = true
-		order[count] = u
+		order[count] = int32(u)
 		count++
 		du := dist[u]
 		row := e.dist[u]

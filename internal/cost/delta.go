@@ -1,0 +1,304 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/networksynth/cold/internal/graph"
+)
+
+// The incremental ("delta") evaluation path.
+//
+// A full evaluation runs Dijkstra from all n sources. The GA's mutation
+// offspring differ from a parent by only a few links, and most of those
+// edits leave most shortest-path trees untouched. The Evaluator therefore
+// retains one *base state* — the last fully routed graph plus every
+// source's distance/parent/finalization-order tables — and, for a child
+// that differs from the base by a small changed-edge set, re-runs Dijkstra
+// only from the sources whose tree can actually change:
+//
+//   - a removed edge {i,j} affects source s only if it is a tree edge of
+//     s's shortest-path tree (parent_s[i] == j or parent_s[j] == i);
+//   - an added edge {i,j} of length ℓ affects source s only if it creates a
+//     path at least as short as an existing one on either endpoint:
+//     dist_s[i]+ℓ <= dist_s[j] or dist_s[j]+ℓ <= dist_s[i]. The <= (rather
+//     than <) matters: an equal-length alternative can flip a
+//     deterministic tie toward a different parent, so ties must recompute.
+//
+// Sources failing every test provably keep identical distances, parents
+// and finalization order, so their tables — and their floating-point load
+// contributions, re-accumulated in the same source order through
+// pushLoads — are reused bit-for-bit. The result is indistinguishable from
+// a full sweep: same costs, same loads, same routing, to the last bit (the
+// equivalence suite and fuzz targets enforce exactly this).
+//
+// When more than half the sources are affected, or the changed-edge set
+// exceeds Options.DeltaEdgeBudget, the full sweep is cheaper and the path
+// falls back. Disconnection never reaches the incremental path: removing a
+// bridge puts the bridge on every source's tree, marking all sources
+// affected and triggering the fallback.
+
+// deltaState is the retained base of the incremental path: the base graph
+// and the flattened n×n per-source Dijkstra tables. A nil g means no valid
+// state.
+type deltaState struct {
+	g      *graph.Graph // clone of the base graph; nil = invalid
+	hash   uint64       // g.Hash(), for a cheap mismatch test
+	dist   []float64    // n×n: dist[s*n+v]
+	parent []int32      // n×n
+	order  []int32      // n×n finalization order per source
+}
+
+// ensure allocates the tables (lazily — evaluators that never touch the
+// delta path pay no n² memory) and marks the state invalid until
+// finishRecord.
+func (st *deltaState) ensure(n int) {
+	if st.dist == nil {
+		st.dist = make([]float64, n*n)
+		st.parent = make([]int32, n*n)
+		st.order = make([]int32, n*n)
+	}
+	st.g = nil
+}
+
+// copyFromScratch stores source s's tables from the Dijkstra scratch.
+func (st *deltaState) copyFromScratch(e *Evaluator, s int) {
+	n := e.n
+	copy(st.dist[s*n:(s+1)*n], e.dj.dist[:n])
+	copy(st.parent[s*n:(s+1)*n], e.dj.parent[:n])
+	copy(st.order[s*n:(s+1)*n], e.dj.order[:n])
+}
+
+// finishRecord validates the state after a recording sweep over g: only
+// connected graphs become bases (partial tables of a disconnected graph
+// cannot seed increments).
+func (st *deltaState) finishRecord(e *Evaluator, g *graph.Graph, connected bool) {
+	if !connected {
+		st.g = nil
+		return
+	}
+	st.g = g.Clone()
+	st.hash = st.g.Hash()
+}
+
+// matches reports whether the state holds base.
+func (st *deltaState) matches(base *graph.Graph) bool {
+	return st.g != nil && st.hash == base.Hash() && st.g.Equal(base)
+}
+
+// Options returns the evaluator's resolved evaluation options.
+func (e *Evaluator) Options() Options { return e.opts }
+
+// UsesHeap reports whether the heap Dijkstra kernel is selected.
+func (e *Evaluator) UsesHeap() bool { return e.useHeap }
+
+// DeltaEnabled reports whether the incremental evaluation path is live.
+// When false, CostDelta and EvaluateDelta silently run full sweeps, so
+// callers can skip the bookkeeping (diffing graphs) entirely.
+func (e *Evaluator) DeltaEnabled() bool { return e.deltaOn }
+
+// DeltaEdgeBudget returns the resolved changed-edge budget: edits larger
+// than this always take the full sweep, so callers tracking lineage can
+// stop diffing once a child drifts past it.
+func (e *Evaluator) DeltaEdgeBudget() int { return e.deltaBudget }
+
+// reconciles verifies that changed is exactly the edge-set difference
+// between base and g: every listed edge differs, and the total number of
+// differing edges equals len(changed). O(n²/64) — far cheaper than the
+// sweeps it guards, and it makes a stale or wrong changed list degrade to
+// a (correct) full sweep instead of a silent wrong answer.
+func (e *Evaluator) reconciles(base, g *graph.Graph, changed []graph.Edge) bool {
+	if base.DiffCount(g) != len(changed) {
+		return false
+	}
+	for _, c := range changed {
+		if base.HasEdge(c.I, c.J) == g.HasEdge(c.I, c.J) {
+			return false
+		}
+	}
+	return true
+}
+
+// primeDelta records base as the delta state by running Dijkstra from every
+// source (no load accumulation). Returns false — leaving the state invalid
+// — if base is disconnected.
+func (e *Evaluator) primeDelta(base *graph.Graph) bool {
+	n := e.n
+	e.delta.ensure(n)
+	for s := 0; s < n; s++ {
+		if e.dijkstra(base, s) != n {
+			return false
+		}
+		e.delta.copyFromScratch(e, s)
+	}
+	e.delta.finishRecord(e, base, true)
+	return true
+}
+
+// deltaAffected marks in e.dj.affected the sources whose shortest-path
+// tree can change when the base graph becomes g (differing by changed),
+// and returns their count. changed edges present in g are additions,
+// absent ones removals; the tests run against the base tables, which is
+// sound for the whole set because unaffected sources keep base tables at
+// every intermediate step.
+func (e *Evaluator) deltaAffected(g *graph.Graph, changed []graph.Edge) int {
+	n := e.n
+	if e.dj.affected == nil {
+		e.dj.affected = make([]bool, n)
+	}
+	aff := e.dj.affected
+	st := &e.delta
+	count := 0
+	for s := 0; s < n; s++ {
+		drow := st.dist[s*n : (s+1)*n]
+		prow := st.parent[s*n : (s+1)*n]
+		hit := false
+		for _, c := range changed {
+			if g.HasEdge(c.I, c.J) {
+				// Added edge: affected when it offers an equal-or-shorter
+				// path to either endpoint.
+				l := e.dist[c.I][c.J]
+				if drow[c.I]+l <= drow[c.J] || drow[c.J]+l <= drow[c.I] {
+					hit = true
+					break
+				}
+			} else if prow[c.I] == int32(c.J) || prow[c.J] == int32(c.I) {
+				// Removed tree edge.
+				hit = true
+				break
+			}
+		}
+		aff[s] = hit
+		if hit {
+			count++
+		}
+	}
+	return count
+}
+
+// evalDelta fills e.dj.load for g by reusing the base state's trees for
+// unaffected sources and re-running Dijkstra for affected ones, in one
+// ascending-source pass so the floating-point accumulation order matches
+// routeAndLoad exactly. With advance set, recomputed tables are written
+// back and the state is re-based on g.
+//
+// Returns ok=false when the path declines (too many affected sources); the
+// state is then left untouched and the caller must run a full sweep.
+// Returns connected=false if a re-routed source cannot reach every node —
+// in practice unreachable (disconnection marks all sources affected, which
+// declines first), but handled defensively by invalidating the state.
+func (e *Evaluator) evalDelta(g *graph.Graph, changed []graph.Edge, advance bool) (connected, ok bool) {
+	n := e.n
+	st := &e.delta
+	if 2*e.deltaAffected(g, changed) > n {
+		return false, false
+	}
+	load := e.dj.load
+	for i := range load {
+		load[i] = 0
+	}
+	aff := e.dj.affected
+	for s := 0; s < n; s++ {
+		if aff[s] {
+			if e.dijkstra(g, s) != n {
+				st.g = nil
+				return false, true
+			}
+			e.pushLoads(s, e.dj.parent, e.dj.order)
+			if advance {
+				st.copyFromScratch(e, s)
+			}
+		} else {
+			e.pushLoads(s, st.parent[s*n:(s+1)*n], st.order[s*n:(s+1)*n])
+		}
+	}
+	if advance {
+		st.finishRecord(e, g, true)
+	}
+	return true, true
+}
+
+// CostDelta returns Cost(g) for a graph differing from base by the changed
+// edge set, evaluating incrementally from base's shortest-path trees when
+// profitable. It is memoized like Cost, returns bit-identical values on
+// every path, and never advances the retained state past base — so a run
+// of siblings mutated from one parent reuses a single priming sweep. Any
+// mismatch (wrong changed list, delta disabled, edit over budget, too many
+// affected sources) falls back to the full evaluation.
+func (e *Evaluator) CostDelta(base, g *graph.Graph, changed []graph.Edge) float64 {
+	if g.N() != e.n {
+		panic(fmt.Sprintf("cost: graph has %d nodes, context has %d", g.N(), e.n))
+	}
+	if !e.deltaOn || len(changed) == 0 || len(changed) > e.deltaBudget || base.N() != e.n {
+		return e.Cost(g)
+	}
+	if !e.cache.enabled() {
+		e.cache.misses.Add(1)
+		return e.costDeltaUncached(base, g, changed)
+	}
+	h := g.Hash()
+	if c, ok := e.cache.lookup(h, g); ok {
+		return c
+	}
+	c := e.costDeltaUncached(base, g, changed)
+	e.cache.store(h, g, c)
+	return c
+}
+
+func (e *Evaluator) costDeltaUncached(base, g *graph.Graph, changed []graph.Edge) float64 {
+	if !e.delta.matches(base) && !e.primeDelta(base) {
+		return e.computeCost(g) // disconnected base cannot seed increments
+	}
+	if !e.reconciles(base, g, changed) {
+		return e.computeCost(g)
+	}
+	connected, ok := e.evalDelta(g, changed, false)
+	if !ok {
+		return e.computeCost(g)
+	}
+	if !connected {
+		return math.Inf(1)
+	}
+	return e.sumCost(g)
+}
+
+// EvaluateDelta is Evaluate for a graph that differs from the evaluator's
+// retained base — the last graph routed by Evaluate or EvaluateDelta — by
+// the changed edge set. When the state reconciles and the edit is small it
+// re-routes only affected sources; otherwise it degrades to a full
+// Evaluate. Either way the returned Evaluation is bit-identical to
+// Evaluate(g), and on success g becomes the new base, so a random walk of
+// single-link edits stays incremental end to end.
+func (e *Evaluator) EvaluateDelta(g *graph.Graph, changed []graph.Edge) *Evaluation {
+	if g.N() != e.n {
+		panic(fmt.Sprintf("cost: graph has %d nodes, context has %d", g.N(), e.n))
+	}
+	if !e.deltaOn {
+		return e.Evaluate(g)
+	}
+	st := &e.delta
+	if st.g == nil || len(changed) == 0 || len(changed) > e.deltaBudget ||
+		!e.reconciles(st.g, g, changed) {
+		return e.Evaluate(g) // full sweep; records g as the new base
+	}
+	connected, ok := e.evalDelta(g, changed, true)
+	if !ok {
+		return e.Evaluate(g)
+	}
+	if !connected {
+		return e.Evaluate(g) // state invalidated; defensive re-route
+	}
+	n := e.n
+	ev := &Evaluation{Connected: true}
+	rt := &Routing{
+		PathDist: make([][]float64, n),
+		Parent:   make([][]int32, n),
+	}
+	for s := 0; s < n; s++ {
+		rt.PathDist[s] = append([]float64(nil), st.dist[s*n:(s+1)*n]...)
+		rt.Parent[s] = append([]int32(nil), st.parent[s*n:(s+1)*n]...)
+	}
+	ev.Routing = rt
+	e.fillBreakdown(ev, g)
+	return ev
+}

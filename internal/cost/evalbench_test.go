@@ -1,0 +1,81 @@
+package cost
+
+// Kernel benchmarks behind the Options.HeapThreshold default: the linear
+// scan wins small-n, the heap wins large sparse-n, and the delta path beats
+// both on GA-style single-link edits. Run with:
+//
+//	go test ./internal/cost -run '^$' -bench 'Evaluate(Linear|Heap|Delta)' -benchtime 3x
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/networksynth/cold/internal/graph"
+)
+
+var benchSizes = []int{64, 128, 256, 512}
+
+// benchGraph builds a GA-like sparse connected candidate (~3 links/PoP).
+func benchGraph(e *Evaluator, n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(7))
+	return randomConnected(rng, n, 6.0/float64(n), e.Dist())
+}
+
+func benchEvaluate(b *testing.B, n int, heap Switch) {
+	e := optionsContext(b, n, 1, Options{Heap: heap, Delta: ForceOff})
+	g := benchGraph(e, n)
+	if e.CostUncached(g) == 0 {
+		b.Fatal("zero cost")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.CostUncached(g)
+	}
+}
+
+func BenchmarkEvaluateLinear(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(sizeName(n), func(b *testing.B) { benchEvaluate(b, n, ForceOff) })
+	}
+}
+
+func BenchmarkEvaluateHeap(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(sizeName(n), func(b *testing.B) { benchEvaluate(b, n, ForceOn) })
+	}
+}
+
+// BenchmarkEvaluateDelta measures CostDelta on single-link-toggled children
+// of a fixed primed base — the GA's same-parent sibling pattern (the
+// priming sweep is paid once, outside the loop).
+func BenchmarkEvaluateDelta(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(sizeName(n), func(b *testing.B) {
+			e := optionsContext(b, n, 1, Options{Delta: ForceOn})
+			base := benchGraph(e, n)
+			rng := rand.New(rand.NewSource(9))
+			const kids = 16
+			children := make([]*graph.Graph, kids)
+			diffs := make([][]graph.Edge, kids)
+			for k := range children {
+				child := base.Clone()
+				i, j := rng.Intn(n), rng.Intn(n)
+				for i == j {
+					j = rng.Intn(n)
+				}
+				child.SetEdge(i, j, !child.HasEdge(i, j))
+				children[k] = child
+				diffs[k] = base.Diff(child, nil)
+			}
+			e.CostDelta(base, children[0], diffs[0]) // prime outside the timer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % kids
+				e.CostDelta(base, children[k], diffs[k])
+			}
+		})
+	}
+}
+
+func sizeName(n int) string { return fmt.Sprintf("n%d", n) }

@@ -1,0 +1,151 @@
+package cost
+
+// Fuzz targets for the evaluator's equivalence guarantees. Both targets
+// decode arbitrary bytes into a context + graph(s) and assert the
+// bit-identity contracts that the rest of the system (memo cache, GA
+// determinism, golden fixtures) depends on:
+//
+//   FuzzDijkstraEquivalence — linear-scan vs heap Dijkstra full evaluations
+//   FuzzEvaluateDelta       — incremental delta walk vs fresh full sweeps
+//
+// Seed corpora live in testdata/fuzz/<FuzzName>/. CI runs each target for a
+// short -fuzztime as a smoke job (make fuzz); run locally with e.g.
+//
+//	go test ./internal/cost -run '^$' -fuzz FuzzEvaluateDelta -fuzztime 30s
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/traffic"
+)
+
+// fuzzContext derives a deterministic context from a seed, sized 2..33.
+func fuzzContext(t testing.TB, seed int64, sizeByte byte, opts Options) *Evaluator {
+	n := 2 + int(sizeByte%32)
+	rng := rand.New(rand.NewSource(seed))
+	pts := geom.NewUniform().Sample(n, rng)
+	pops := traffic.NewExponential().Sample(n, rng)
+	e, err := NewEvaluatorOptions(geom.DistanceMatrix(pts), traffic.Gravity(pops, 1),
+		Params{K0: 10, K1: 1, K2: 3e-4, K3: 12}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetCacheLimit(0)
+	return e
+}
+
+// fuzzGraph decodes data as a bitmask over the upper-triangle pairs of an
+// n-node graph (bit k of byte k/8 = pair k in lexicographic order).
+func fuzzGraph(n int, data []byte) *graph.Graph {
+	g := graph.New(n)
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if k/8 < len(data) && data[k/8]&(1<<(k%8)) != 0 {
+				g.AddEdge(i, j)
+			}
+			k++
+		}
+	}
+	return g
+}
+
+// FuzzDijkstraEquivalence: for any context and any graph — connected or not
+// — the two Dijkstra kernels must produce bit-identical evaluations.
+func FuzzDijkstraEquivalence(f *testing.F) {
+	f.Add(int64(1), []byte{8, 0xff, 0x3c, 0x81})
+	f.Add(int64(42), []byte{20, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80})
+	f.Add(int64(-7), []byte{31})
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		lin := fuzzContext(t, seed, data[0], Options{Heap: ForceOff})
+		heap := fuzzContext(t, seed, data[0], Options{Heap: ForceOn})
+		g := fuzzGraph(lin.N(), data[1:])
+		evL, evH := lin.Evaluate(g), heap.Evaluate(g)
+		if evL.Total != evH.Total || evL.Connected != evH.Connected {
+			t.Fatalf("kernels disagree: linear %v/%v heap %v/%v",
+				evL.Total, evL.Connected, evH.Total, evH.Connected)
+		}
+		for i := range evL.Capacities {
+			if evL.Capacities[i] != evH.Capacities[i] {
+				t.Fatalf("capacity %d differs: %v vs %v", i, evL.Capacities[i], evH.Capacities[i])
+			}
+		}
+		for s := range evL.Routing.PathDist {
+			for v := range evL.Routing.PathDist[s] {
+				if evL.Routing.PathDist[s][v] != evH.Routing.PathDist[s][v] ||
+					evL.Routing.Parent[s][v] != evH.Routing.Parent[s][v] {
+					t.Fatalf("routing (%d,%d) differs", s, v)
+				}
+			}
+		}
+	})
+}
+
+// FuzzEvaluateDelta: an arbitrary walk of edge toggles evaluated
+// incrementally must match fresh full evaluations bit for bit at every
+// step, through disconnections, re-connections and fallbacks.
+func FuzzEvaluateDelta(f *testing.F) {
+	f.Add(int64(1), []byte{10, 0xff, 0xa5}, []byte{0, 1, 2, 3, 4, 5})
+	f.Add(int64(9), []byte{16, 0x81, 0x42, 0x24, 0x18}, []byte{7, 7, 1, 30, 12, 0, 0})
+	f.Add(int64(-3), []byte{6, 0x3f}, []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, seed int64, base []byte, toggles []byte) {
+		if len(base) == 0 || len(toggles) > 64 {
+			return
+		}
+		ev := fuzzContext(t, seed, base[0], Options{Delta: ForceOn})
+		ref := fuzzContext(t, seed, base[0], Options{Delta: ForceOff})
+		n := ev.N()
+		g := fuzzGraph(n, base[1:])
+		g.Connect(ev.Dist())
+		ev.Evaluate(g)
+		pairs := n * (n - 1) / 2
+		for step := range toggles {
+			// Decode pair indices; group consecutive toggles into edits of
+			// 1..3 edges so multi-edge deltas get exercised too.
+			child := g.Clone()
+			edits := 1 + (step % 3)
+			for e := 0; e < edits && step+e < len(toggles); e++ {
+				k := int(toggles[(step+e)%len(toggles)]) % pairs
+				i, j := pairFromIndex(n, k)
+				child.SetEdge(i, j, !child.HasEdge(i, j))
+			}
+			changed := g.Diff(child, nil)
+			// CostDelta first (non-advancing: the retained base stays g),
+			// then EvaluateDelta (advances the base to child) — so the walk
+			// stays incremental end to end.
+			if got, want := ev.CostDelta(g, child, changed), ref.Cost(child); got != want {
+				t.Fatalf("step %d: CostDelta %v != Cost %v", step, got, want)
+			}
+			got := ev.EvaluateDelta(child, changed)
+			want := ref.Evaluate(child)
+			if got.Total != want.Total || got.Connected != want.Connected {
+				t.Fatalf("step %d: delta %v/%v != full %v/%v",
+					step, got.Total, got.Connected, want.Total, want.Connected)
+			}
+			for i := range got.Capacities {
+				if got.Capacities[i] != want.Capacities[i] {
+					t.Fatalf("step %d: capacity %d differs", step, i)
+				}
+			}
+			g = child
+		}
+	})
+}
+
+// pairFromIndex maps a lexicographic pair index back to (i, j), i < j.
+func pairFromIndex(n, k int) (int, int) {
+	for i := 0; i < n; i++ {
+		row := n - 1 - i
+		if k < row {
+			return i, i + 1 + k
+		}
+		k -= row
+	}
+	panic("pair index out of range")
+}

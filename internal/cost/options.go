@@ -1,0 +1,137 @@
+package cost
+
+import "fmt"
+
+// Switch is a three-state toggle for evaluator features: Auto lets the
+// evaluator pick based on the context size, ForceOn and ForceOff override
+// the choice (tests use the forced states to pin each code path).
+type Switch uint8
+
+// Switch states.
+const (
+	Auto Switch = iota
+	ForceOn
+	ForceOff
+)
+
+// String renders the switch state.
+func (s Switch) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case ForceOn:
+		return "on"
+	case ForceOff:
+		return "off"
+	default:
+		return fmt.Sprintf("Switch(%d)", uint8(s))
+	}
+}
+
+// Defaults for the Options zero value.
+const (
+	// DefaultHeapThreshold is the context size at which Auto switches the
+	// per-source Dijkstra from the O(n²) linear scan to the indexed binary
+	// heap. Below it the linear scan's cache-friendly sweep is at least as
+	// fast; measured on amd64 the heap pulls ahead from n ≈ 24 on sparse
+	// GA candidates and n ≈ 32 even on near-cliques, reaching ~5× at
+	// n = 512 (BenchmarkEvaluateLinear vs BenchmarkEvaluateHeap).
+	DefaultHeapThreshold = 32
+
+	// DefaultDeltaThreshold is the context size at which Auto enables the
+	// incremental (delta) evaluation path. Below it a full sweep is cheap
+	// enough that the bookkeeping isn't worth the memory.
+	DefaultDeltaThreshold = 64
+
+	// DefaultDeltaEdgeBudget is the largest changed-edge set CostDelta and
+	// EvaluateDelta attempt incrementally; larger edits (e.g. crossover
+	// offspring far from both parents) go straight to the full sweep.
+	DefaultDeltaEdgeBudget = 8
+)
+
+// Options tune how the Evaluator routes and evaluates. The zero value is
+// the production default: both the heap Dijkstra and the incremental delta
+// path on Auto, with the default thresholds. All selections change only
+// speed and memory — every path returns bit-identical costs, loads and
+// routing (the equivalence test suite enforces this).
+type Options struct {
+	// Heap selects the per-source shortest-path kernel: Auto uses the
+	// indexed-heap Dijkstra for contexts with at least HeapThreshold PoPs
+	// and the linear scan below, ForceOn/ForceOff pin one kernel.
+	Heap Switch
+
+	// HeapThreshold overrides the Auto cutover size; 0 means
+	// DefaultHeapThreshold.
+	HeapThreshold int
+
+	// Delta controls the incremental evaluation path (CostDelta,
+	// EvaluateDelta): Auto enables it for contexts with at least
+	// DeltaThreshold PoPs, ForceOn/ForceOff pin it. When off, the delta
+	// entry points silently run full sweeps.
+	Delta Switch
+
+	// DeltaThreshold overrides the Auto enable size; 0 means
+	// DefaultDeltaThreshold.
+	DeltaThreshold int
+
+	// DeltaEdgeBudget bounds how many changed edges the delta path accepts
+	// before falling back to a full sweep; 0 means DefaultDeltaEdgeBudget.
+	DeltaEdgeBudget int
+}
+
+// Validate rejects unknown switch states and negative thresholds.
+func (o Options) Validate() error {
+	for _, s := range []struct {
+		name string
+		val  Switch
+	}{{"Heap", o.Heap}, {"Delta", o.Delta}} {
+		if s.val > ForceOff {
+			return fmt.Errorf("cost: options: unknown %s switch %d", s.name, s.val)
+		}
+	}
+	for _, v := range []struct {
+		name string
+		val  int
+	}{{"HeapThreshold", o.HeapThreshold}, {"DeltaThreshold", o.DeltaThreshold}, {"DeltaEdgeBudget", o.DeltaEdgeBudget}} {
+		if v.val < 0 {
+			return fmt.Errorf("cost: options: negative %s %d", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// heapThreshold resolves the Auto cutover size.
+func (o Options) heapThreshold() int {
+	if o.HeapThreshold > 0 {
+		return o.HeapThreshold
+	}
+	return DefaultHeapThreshold
+}
+
+// deltaThreshold resolves the Auto enable size.
+func (o Options) deltaThreshold() int {
+	if o.DeltaThreshold > 0 {
+		return o.DeltaThreshold
+	}
+	return DefaultDeltaThreshold
+}
+
+// deltaEdgeBudget resolves the changed-edge budget.
+func (o Options) deltaEdgeBudget() int {
+	if o.DeltaEdgeBudget > 0 {
+		return o.DeltaEdgeBudget
+	}
+	return DefaultDeltaEdgeBudget
+}
+
+// enabled resolves a switch against the Auto rule "on when n >= threshold".
+func (s Switch) enabled(n, threshold int) bool {
+	switch s {
+	case ForceOn:
+		return true
+	case ForceOff:
+		return false
+	default:
+		return n >= threshold
+	}
+}
