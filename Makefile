@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench fuzz ensemble
+.PHONY: build test vet race check bench bench-smoke fuzz ensemble
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,8 @@ build:
 test:
 	$(GO) test ./...
 
+# go vet's suite includes the `atomic` analyzer, which guards the
+# telemetry layer's sync/atomic usage (counters, histogram CAS loop).
 vet:
 	$(GO) vet ./...
 
@@ -23,6 +25,12 @@ check: build vet race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Fast telemetry-instrumented benchmark run writing machine-readable
+# results to BENCH_COLD.json (format: EXPERIMENTS.md). CI runs this and
+# uploads the file as a build artifact.
+bench-smoke:
+	$(GO) run ./cmd/coldbench -trials 4 -n 16 -pop 24 -gens 12 -json BENCH_COLD.json ensemble breeding
 
 # Short fuzzing smoke on the evaluator equivalence targets (CI runs this;
 # crank -fuzztime locally for a real session). Corpora live under

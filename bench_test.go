@@ -218,26 +218,36 @@ func BenchmarkGenerate(b *testing.B) {
 // BenchmarkGenerateEnsemble contrasts the serial path with the worker-pool
 // ensemble engine (outputs are identical; only wall-clock changes). The
 // parallel case uses all CPUs — on a single-core box the two coincide.
+// The telemetry variants measure the recorder overhead (metrics on, no
+// trace sink), which the telemetry layer promises stays under 2%.
 func BenchmarkGenerateEnsemble(b *testing.B) {
 	for _, par := range []int{1, 0} { // 1 = serial, 0 = GOMAXPROCS
-		name := "serial"
-		if par == 0 {
-			name = "parallel"
-		}
-		b.Run(name, func(b *testing.B) {
-			cfg := cold.Config{
-				NumPoPs:     20,
-				Seed:        1,
-				Parallelism: par,
-				Optimizer:   cold.OptimizerSpec{PopulationSize: 30, Generations: 20},
+		for _, telemetry := range []bool{false, true} {
+			name := "serial"
+			if par == 0 {
+				name = "parallel"
 			}
-			for i := 0; i < b.N; i++ {
-				cfg.Seed = int64(i)
-				if _, err := cold.GenerateEnsemble(cfg, 8); err != nil {
-					b.Fatal(err)
+			if telemetry {
+				name += "-telemetry"
+			}
+			b.Run(name, func(b *testing.B) {
+				cfg := cold.Config{
+					NumPoPs:     20,
+					Seed:        1,
+					Parallelism: par,
+					Optimizer:   cold.OptimizerSpec{PopulationSize: 30, Generations: 20},
 				}
-			}
-		})
+				if telemetry {
+					cfg.Telemetry = cold.NewTelemetry()
+				}
+				for i := 0; i < b.N; i++ {
+					cfg.Seed = int64(i)
+					if _, err := cold.GenerateEnsemble(cfg, 8); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -14,6 +14,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	cold "github.com/networksynth/cold"
+	"github.com/networksynth/cold/internal/diag"
 	"github.com/networksynth/cold/internal/experiments"
 	"github.com/networksynth/cold/internal/zoo"
 )
@@ -43,6 +46,9 @@ func run(args []string, stdout io.Writer) error {
 	fs.IntVar(&o.GAGens, "gens", d.GAGens, "GA generations T")
 	fs.IntVar(&o.Bootstrap, "bootstrap", d.Bootstrap, "bootstrap resamples for CIs")
 	fs.Int64Var(&o.Seed, "seed", d.Seed, "master seed")
+	jsonOut := fs.String("json", "", "write machine-readable results to this file (e.g. BENCH_COLD.json; format in EXPERIMENTS.md)")
+	trace := fs.String("trace", "", "write a JSONL telemetry trace to this file (see DESIGN.md, Telemetry)")
+	metricsAddr := fs.String("metrics", "", "serve live expvar + pprof on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +59,44 @@ func run(args []string, stdout io.Writer) error {
 	if len(names) == 1 && names[0] == "all" {
 		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9", "brute", "context", "routers", "dijkstra", "extras", "ensemble", "breeding"}
 	}
+
+	// Telemetry instruments the experiments that run through the public
+	// cold API (ensemble, breeding); it feeds the -json counters, the
+	// -trace event log and the -metrics endpoint.
+	var tel *cold.Telemetry
+	if *jsonOut != "" || *trace != "" || *metricsAddr != "" {
+		tel = cold.NewTelemetry()
+	}
+	var flushTrace func() error
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		tel.TraceTo(bw)
+		flushTrace = func() error {
+			if err := tel.TraceErr(); err != nil {
+				f.Close() //nolint:errcheck
+				return fmt.Errorf("trace: %w", err)
+			}
+			if err := bw.Flush(); err != nil {
+				f.Close() //nolint:errcheck
+				return fmt.Errorf("trace: %w", err)
+			}
+			return f.Close()
+		}
+		defer f.Close() //nolint:errcheck // no-op after flushTrace's close
+	}
+	if *metricsAddr != "" {
+		addr, shutdown, err := diag.Serve(*metricsAddr, func() any { return tel.Snapshot() })
+		if err != nil {
+			return err
+		}
+		defer shutdown() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "coldbench: metrics on http://%s/debug/vars (pprof on /debug/pprof/)\n", addr)
+	}
+	var records []benchRecord
 
 	// Shared sweeps, computed at most once.
 	var tun *experiments.TunabilityResult
@@ -72,6 +116,7 @@ func run(args []string, stdout io.Writer) error {
 
 	for _, name := range names {
 		start := time.Now()
+		before := tel.Snapshot()
 		var tables []*experiments.Table
 		switch name {
 		case "table1":
@@ -108,13 +153,13 @@ func run(args []string, stdout io.Writer) error {
 		case "extras":
 			tables = []*experiments.Table{experiments.ExtraFeatures(0, o)}
 		case "ensemble":
-			t, err := ensembleThroughput(o)
+			t, err := ensembleThroughput(o, tel)
 			if err != nil {
 				return err
 			}
 			tables = []*experiments.Table{t}
 		case "breeding":
-			t, err := breedingThroughput(o)
+			t, err := breedingThroughput(o, tel)
 			if err != nil {
 				return err
 			}
@@ -128,20 +173,101 @@ func run(args []string, stdout io.Writer) error {
 			}
 			fmt.Fprintln(stdout)
 		}
-		fmt.Fprintf(stdout, "-- %s done in %.1fs --\n\n", name, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		fmt.Fprintf(stdout, "-- %s done in %.1fs --\n\n", name, elapsed.Seconds())
+		if *jsonOut != "" {
+			records = append(records, newBenchRecord(name, o, elapsed, before, tel.Snapshot()))
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut, o, records); err != nil {
+			return err
+		}
+	}
+	if flushTrace != nil {
+		return flushTrace()
 	}
 	return nil
+}
+
+// benchRecord is one experiment's entry in the -json output; the file
+// format is documented in EXPERIMENTS.md ("Machine-readable results").
+type benchRecord struct {
+	Experiment string `json:"experiment"`
+	N          int    `json:"n"`
+	Iters      int    `json:"iters"`     // trials per data point
+	DurNs      int64  `json:"dur_ns"`    // experiment wall time
+	NsPerOp    int64  `json:"ns_per_op"` // DurNs / Iters
+	// Counters are telemetry deltas over the experiment: only experiments
+	// wired to a Telemetry (ensemble, breeding) report them; the rest run
+	// on internal packages and omit the field.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+type benchFile struct {
+	V          int           `json:"v"` // file schema version
+	GoMaxProcs int           `json:"go_max_procs"`
+	Pop        int           `json:"pop"`
+	Gens       int           `json:"gens"`
+	Seed       int64         `json:"seed"`
+	Runs       []benchRecord `json:"experiments"`
+}
+
+func newBenchRecord(name string, o experiments.Options, elapsed time.Duration, before, after cold.TelemetrySnapshot) benchRecord {
+	o = experiments.Normalized(o)
+	iters := max(o.Trials, 1)
+	rec := benchRecord{
+		Experiment: name,
+		N:          o.N,
+		Iters:      iters,
+		DurNs:      elapsed.Nanoseconds(),
+		NsPerOp:    elapsed.Nanoseconds() / int64(iters),
+	}
+	counters := map[string]uint64{
+		"replicas":     after.ReplicasDone - before.ReplicasDone,
+		"generations":  after.Generations - before.Generations,
+		"evaluations":  after.Evaluations - before.Evaluations,
+		"cache_hits":   after.Eval.CacheHits - before.Eval.CacheHits,
+		"cache_misses": after.Eval.CacheMisses - before.Eval.CacheMisses,
+		"full_sweeps":  after.Eval.FullSweeps - before.Eval.FullSweeps,
+		"delta_evals":  after.Eval.DeltaEvals - before.Eval.DeltaEvals,
+	}
+	any := false
+	for _, v := range counters {
+		any = any || v > 0
+	}
+	if any {
+		rec.Counters = counters
+	}
+	return rec
+}
+
+func writeBenchJSON(path string, o experiments.Options, records []benchRecord) error {
+	o = experiments.Normalized(o)
+	b, err := json.MarshalIndent(benchFile{
+		V:          1,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Pop:        o.GAPop,
+		Gens:       o.GAGens,
+		Seed:       o.Seed,
+		Runs:       records,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // ensembleThroughput times the parallel ensemble engine against the serial
 // path on the same workload and verifies the outputs are identical — the
 // before/after numbers for the worker-pool GenerateEnsemble.
-func ensembleThroughput(o experiments.Options) (*experiments.Table, error) {
+func ensembleThroughput(o experiments.Options, tel *cold.Telemetry) (*experiments.Table, error) {
 	o = experiments.Normalized(o)
 	count := max(o.Trials, 8)
 	cfg := cold.Config{
-		NumPoPs: o.N,
-		Seed:    o.Seed,
+		NumPoPs:   o.N,
+		Seed:      o.Seed,
+		Telemetry: tel,
 		Optimizer: cold.OptimizerSpec{
 			PopulationSize: o.GAPop,
 			Generations:    o.GAGens,
@@ -193,11 +319,12 @@ func ensembleThroughput(o experiments.Options) (*experiments.Table, error) {
 // breeding order-independent, both offspring construction and fitness
 // evaluation fan out — and the resulting network must be bit-identical at
 // every parallelism, which this experiment also verifies.
-func breedingThroughput(o experiments.Options) (*experiments.Table, error) {
+func breedingThroughput(o experiments.Options, tel *cold.Telemetry) (*experiments.Table, error) {
 	o = experiments.Normalized(o)
 	cfg := cold.Config{
-		NumPoPs: o.N,
-		Seed:    o.Seed,
+		NumPoPs:   o.N,
+		Seed:      o.Seed,
+		Telemetry: tel,
 		Optimizer: cold.OptimizerSpec{
 			// Scale the population up so offspring construction, not just
 			// fitness evaluation, is a visible fraction of the run.

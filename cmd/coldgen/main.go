@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"os/signal"
 
 	cold "github.com/networksynth/cold"
+	"github.com/networksynth/cold/internal/diag"
 	"github.com/networksynth/cold/internal/geom"
 	"github.com/networksynth/cold/internal/graph"
 	"github.com/networksynth/cold/internal/render"
@@ -54,8 +56,44 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	heur := fs.Bool("heuristics", true, "seed the GA with greedy heuristic solutions (initialised GA)")
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = all CPUs); results are identical for every setting")
 	progress := fs.Bool("progress", false, "report ensemble progress on stderr")
+	trace := fs.String("trace", "", "write a JSONL telemetry trace to this file (see DESIGN.md, Telemetry)")
+	metricsAddr := fs.String("metrics", "", "serve live expvar + pprof on this address (e.g. :6060 or localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var tel *cold.Telemetry
+	if *trace != "" || *metricsAddr != "" {
+		tel = cold.NewTelemetry()
+	}
+	var flushTrace func() error
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		tel.TraceTo(bw)
+		flushTrace = func() error {
+			if err := tel.TraceErr(); err != nil {
+				f.Close() //nolint:errcheck
+				return fmt.Errorf("trace: %w", err)
+			}
+			if err := bw.Flush(); err != nil {
+				f.Close() //nolint:errcheck
+				return fmt.Errorf("trace: %w", err)
+			}
+			return f.Close()
+		}
+		defer f.Close() //nolint:errcheck // no-op after flushTrace's close
+	}
+	if *metricsAddr != "" {
+		addr, shutdown, err := diag.Serve(*metricsAddr, func() any { return tel.Snapshot() })
+		if err != nil {
+			return err
+		}
+		defer shutdown() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "coldgen: metrics on http://%s/debug/vars (pprof on /debug/pprof/)\n", addr)
 	}
 
 	cfg := cold.Config{
@@ -63,6 +101,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Params:      cold.Params{K0: *k0, K1: *k1, K2: *k2, K3: *k3},
 		Seed:        *seed,
 		Parallelism: *parallel,
+		Telemetry:   tel,
 		Optimizer: cold.OptimizerSpec{
 			PopulationSize:     *pop,
 			Generations:        *gens,
@@ -117,6 +156,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err := write(nw, *format, w); err != nil {
 			return err
 		}
+	}
+	if flushTrace != nil {
+		return flushTrace()
 	}
 	return nil
 }

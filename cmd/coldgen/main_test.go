@@ -126,3 +126,44 @@ func TestRunASCII(t *testing.T) {
 		t.Errorf("ascii canvas height = %d, want 32", len(lines))
 	}
 }
+
+func TestRunTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-n", "8", "-pop", "16", "-gens", "10", "-count", "2",
+		"-trace", tracePath, "-metrics", "127.0.0.1:0",
+		"-format", "tsv",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("trace has %d lines, want at least run_start + replicas + run_end", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("trace line %d not JSON: %v", i, err)
+		}
+		if m["v"] != float64(cold.TraceSchemaVersion) {
+			t.Fatalf("trace line %d missing schema version: %v", i, m)
+		}
+	}
+	var first, last map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if first["event"] != "run_start" || last["event"] != "run_end" {
+		t.Fatalf("trace bracketing: first=%v last=%v", first["event"], last["event"])
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/networksynth/cold/internal/core"
 	"github.com/networksynth/cold/internal/cost"
@@ -145,10 +146,15 @@ type OptimizerSpec struct {
 	TrackHistory bool
 }
 
-// ProgressFunc observes long runs: it is called after each completed unit
-// of work with the number done so far and the total. Calls are serialized
-// (never concurrent), but with Parallelism > 1 they may come from a
-// goroutine other than the caller's.
+// ProgressFunc observes ensemble runs: after each completed replica it is
+// called with the number of replicas finished so far and the total replica
+// count. Calls are serialized (never concurrent) and done is strictly
+// increasing, reaching total exactly once on a completed run — with
+// Parallelism > 1 replicas can finish out of order, but done still counts
+// completions, so the sequence is 1, 2, …, total regardless of which
+// replicas they were. Calls may come from a goroutine other than the
+// caller's; once GenerateEnsembleContext returns (including on
+// cancellation or error), no further calls are made.
 type ProgressFunc func(done, total int)
 
 // Config describes one synthesis run.
@@ -175,6 +181,11 @@ type Config struct {
 	// Progress, when non-nil, is called after each completed ensemble
 	// member (GenerateEnsemble and GenerateEnsembleContext only).
 	Progress ProgressFunc
+
+	// Telemetry, when non-nil, collects metrics and (optionally) a JSONL
+	// event trace from the run; see NewTelemetry. Generated networks are
+	// bit-identical with and without it.
+	Telemetry *Telemetry
 
 	Locations LocationSpec
 	Traffic   TrafficSpec
@@ -237,6 +248,13 @@ type Network struct {
 	// OptimizerSpec.TrackHistory was set.
 	History []float64
 
+	// Eval snapshots the context evaluator's counters at the moment this
+	// network was materialized: memoization hits/misses, full versus
+	// incremental evaluations, delta fallbacks by reason, and the selected
+	// shortest-path kernel. Counter values are not part of the determinism
+	// contract (see EvalStats) and are excluded from ExportJSON.
+	Eval EvalStats
+
 	routing *cost.Routing
 	adj     [][]bool
 	stats   metrics.Summary
@@ -278,11 +296,21 @@ func Generate(cfg Config) (*Network, error) {
 // ctx.Err(). The result is independent of ctx — an uncancelled
 // GenerateContext matches Generate.
 func GenerateContext(ctx context.Context, cfg Config) (*Network, error) {
+	return generate(ctx, cfg, cfg.Telemetry.replica(nil, 0, 0, 0))
+}
+
+// generate synthesizes one network inside an optional replica telemetry
+// scope (rt is nil when telemetry is off).
+func generate(ctx context.Context, cfg Config, rt *replicaTracker) (*Network, error) {
 	sc, err := buildContext(cfg)
 	if err != nil {
+		rt.end(nil, nil, err)
 		return nil, err
 	}
-	return optimize(ctx, cfg, sc)
+	rt.attach(sc.eval)
+	nw, err := optimize(ctx, cfg, sc, rt)
+	rt.end(nw, sc.eval, err)
+	return nw, err
 }
 
 // GenerateEnsemble synthesizes count networks with independent contexts
@@ -309,13 +337,15 @@ func GenerateEnsembleContext(ctx context.Context, cfg Config, count int) ([]*Net
 	}
 	workers := min(cfg.parallelism(), count)
 	nets := make([]*Network, count)
+	run := cfg.Telemetry.startRun(count, workers, cfg)
+	defer run.end()
 
 	if workers <= 1 {
 		for i := range nets {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			nw, err := generateReplica(ctx, cfg, i)
+			nw, err := generateReplica(ctx, cfg, run, i, 0, 0)
 			if err != nil {
 				if ctx.Err() != nil {
 					return nil, ctx.Err()
@@ -344,12 +374,23 @@ func GenerateEnsembleContext(ctx context.Context, cfg Config, count int) ([]*Net
 		errIdx   int
 	)
 	jobs := make(chan int)
+	// sendStart[i] is written before replica i is sent on jobs, so the
+	// channel receive orders it before the worker's read: queue wait is the
+	// gap between a replica becoming eligible and a worker picking it up.
+	var sendStart []time.Time
+	if run != nil {
+		sendStart = make([]time.Time, count)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
-				nw, err := generateReplica(pool, cfg, i)
+				var queueNs int64
+				if sendStart != nil {
+					queueNs = time.Since(sendStart[i]).Nanoseconds()
+				}
+				nw, err := generateReplica(pool, cfg, run, i, w, queueNs)
 				mu.Lock()
 				if err != nil {
 					// Cancellation errors are fallout of the pool-wide
@@ -370,10 +411,13 @@ func GenerateEnsembleContext(ctx context.Context, cfg Config, count int) ([]*Net
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := 0; i < count; i++ {
+		if sendStart != nil {
+			sendStart[i] = time.Now()
+		}
 		select {
 		case jobs <- i:
 		case <-pool.Done():
@@ -411,12 +455,12 @@ func replicaSeed(seed int64, i int) int64 {
 // inside one worker (inner GA parallelism off): with many members in
 // flight the replica level already saturates the workers, and nested
 // fan-out would only oversubscribe the scheduler.
-func generateReplica(ctx context.Context, cfg Config, i int) (*Network, error) {
+func generateReplica(ctx context.Context, cfg Config, run *runTracker, i, worker int, queueNs int64) (*Network, error) {
 	c := cfg
 	c.Seed = replicaSeed(cfg.Seed, i)
 	c.Parallelism = 1
 	c.Progress = nil
-	return GenerateContext(ctx, c)
+	return generate(ctx, c, cfg.Telemetry.replica(run, i, worker, queueNs))
 }
 
 // GenerateVariants synthesizes up to count *distinct* topologies for a
@@ -441,7 +485,7 @@ func GenerateVariantsContext(ctx context.Context, cfg Config, count int) ([]*Net
 	if err != nil {
 		return nil, err
 	}
-	res, err := runOptimizer(ctx, cfg, sc)
+	res, err := runOptimizer(ctx, cfg, sc, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -599,8 +643,8 @@ func samplePopulations(spec TrafficSpec, n int, rng *rand.Rand) ([]float64, erro
 	}
 }
 
-func optimize(ctx context.Context, cfg Config, sc *synthContext) (*Network, error) {
-	res, err := runOptimizer(ctx, cfg, sc)
+func optimize(ctx context.Context, cfg Config, sc *synthContext, rt *replicaTracker) (*Network, error) {
+	res, err := runOptimizer(ctx, cfg, sc, rt)
 	if err != nil {
 		return nil, err
 	}
@@ -612,8 +656,8 @@ const gaTag = 0x6A5EED
 
 // runOptimizer executes the GA for a built context, parallelizing both
 // offspring construction and fitness evaluation across cfg.Parallelism
-// workers.
-func runOptimizer(ctx context.Context, cfg Config, sc *synthContext) (*core.Result, error) {
+// workers. rt, when non-nil, observes the GA's per-generation statistics.
+func runOptimizer(ctx context.Context, cfg Config, sc *synthContext, rt *replicaTracker) (*core.Result, error) {
 	settings := core.DefaultSettings()
 	if cfg.Optimizer.PopulationSize != 0 {
 		settings.PopulationSize = cfg.Optimizer.PopulationSize
@@ -626,6 +670,7 @@ func runOptimizer(ctx context.Context, cfg Config, sc *synthContext) (*core.Resu
 	settings.NumMutation = settings.PopulationSize * 3 / 10
 	settings.TrackHistory = cfg.Optimizer.TrackHistory
 	settings.Parallelism = cfg.parallelism()
+	settings.Observer = rt.observer()
 
 	// Separate rng stream for the heuristic seeds so context and search
 	// randomness do not interleave; the GA itself derives per-offspring
@@ -657,6 +702,7 @@ func materialize(cfg Config, sc *synthContext, g *graph.Graph, history []float64
 		Populations: append([]float64(nil), sc.pops...),
 		Demand:      sc.tm.Demand,
 		History:     history,
+		Eval:        newEvalStats(sc.eval.Stats()),
 		routing:     ev.Routing,
 		stats:       metrics.Summarize(g),
 	}

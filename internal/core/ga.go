@@ -29,6 +29,33 @@ import (
 	"github.com/networksynth/cold/internal/stats"
 )
 
+// GenStats reports one generation's population statistics to an observer.
+// Generation 0 is the initial population (BreedNs then covers its
+// construction). All statistics are derived from the sorted population
+// after evaluation; computing them consumes no randomness, so attaching an
+// observer cannot change the run's results.
+type GenStats struct {
+	Gen   int
+	Best  float64
+	Mean  float64
+	Worst float64
+
+	// Diversity is the mean edge-set distance (graph.DiffCount) from the
+	// generation's best member to every other member.
+	Diversity float64
+
+	// EliteSurvived counts members of the previous generation's elite
+	// (pointer identity) still inside the current elite; 0 for generation 0.
+	EliteSurvived int
+
+	BreedNs int64 // offspring construction time (population init for gen 0)
+	EvalNs  int64 // fitness evaluation time
+
+	// Evals is the cumulative number of cost-function calls so far,
+	// including memoized hits.
+	Evals uint64
+}
+
 // Settings control the genetic algorithm. The zero value is not runnable;
 // use DefaultSettings (the paper's T = M = 100 with its a=2, b=10
 // tournament and geometric(0.5) link mutation).
@@ -81,6 +108,14 @@ type Settings struct {
 	// StagnationTolerance is the relative improvement below which a
 	// generation counts as stagnant. Zero means 1e-9.
 	StagnationTolerance float64
+
+	// Observer, when non-nil, is called synchronously on the GA goroutine
+	// after every generation is evaluated and sorted, with that
+	// generation's statistics. The per-generation statistics (diversity,
+	// elite survival) are only computed when an observer is attached, and
+	// none of them consume randomness: results are bit-identical with and
+	// without an observer. The callback must not mutate the population.
+	Observer func(GenStats)
 
 	// Parallelism is the number of goroutines used per generation (0 or 1
 	// means serial). Both stages of the GA hot loop fan out across the
@@ -190,9 +225,14 @@ func RunContext(ctx context.Context, e *cost.Evaluator, s Settings, seed uint64)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	obs := newObserver(ga)
+	breedSpan := obs.span()
 	pop := ga.initialPopulation()
+	breedNs := breedSpan.ElapsedNs()
+	evalSpan := obs.span()
 	costs := ga.evaluate(pop)
 	sortByCost(pop, costs)
+	obs.emit(0, pop, costs, breedNs, evalSpan.ElapsedNs())
 
 	var history []float64
 	if s.TrackHistory {
@@ -211,10 +251,14 @@ func RunContext(ctx context.Context, e *cost.Evaluator, s Settings, seed uint64)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		breedSpan = obs.span()
 		ga.breed(gen, pop, costs, next)
 		pop, next = next, pop
+		breedNs = breedSpan.ElapsedNs()
+		evalSpan = obs.span()
 		costs = ga.evaluate(pop)
 		sortByCost(pop, costs)
+		obs.emit(gen, pop, costs, breedNs, evalSpan.ElapsedNs())
 		if s.TrackHistory {
 			history = append(history, costs[0])
 		}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/telemetry"
+)
+
+// observer computes and delivers per-generation statistics when
+// Settings.Observer is set. A nil observer (no callback attached) makes
+// span and emit no-ops, so an unobserved run pays two nil checks per
+// generation and nothing else. Everything here reads the already-sorted
+// population and the wall clock — never the RNG — so observation cannot
+// perturb results.
+type observer struct {
+	ga        *runner
+	fn        func(GenStats)
+	prevElite []*graph.Graph // pointer snapshot of the last elite set
+}
+
+func newObserver(ga *runner) *observer {
+	if ga.s.Observer == nil {
+		return nil
+	}
+	return &observer{ga: ga, fn: ga.s.Observer}
+}
+
+// span starts a phase timer, or returns the inert zero Span when no
+// observer is attached.
+func (o *observer) span() telemetry.Span {
+	if o == nil {
+		return telemetry.Span{}
+	}
+	return telemetry.StartSpan()
+}
+
+// emit computes generation statistics from the sorted population and calls
+// the observer.
+func (o *observer) emit(gen int, pop []*graph.Graph, costs []float64, breedNs, evalNs int64) {
+	if o == nil {
+		return
+	}
+	st := GenStats{
+		Gen:     gen,
+		Best:    costs[0],
+		Worst:   costs[len(costs)-1],
+		BreedNs: breedNs,
+		EvalNs:  evalNs,
+		Evals:   o.ga.evals,
+	}
+	var sum float64
+	for _, c := range costs {
+		sum += c
+	}
+	st.Mean = sum / float64(len(costs))
+	best := pop[0]
+	var dsum int
+	for _, g := range pop[1:] {
+		dsum += best.DiffCount(g)
+	}
+	if len(pop) > 1 {
+		st.Diversity = float64(dsum) / float64(len(pop)-1)
+	}
+	elite := min(o.ga.s.NumSaved, len(pop))
+	if gen > 0 {
+		for _, g := range pop[:elite] {
+			for _, p := range o.prevElite {
+				if g == p {
+					st.EliteSurvived++
+					break
+				}
+			}
+		}
+	}
+	o.prevElite = append(o.prevElite[:0], pop[:elite]...)
+	o.fn(st)
+}

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/telemetry"
 	"github.com/networksynth/cold/internal/traffic"
 )
 
@@ -163,6 +164,12 @@ type Evaluator struct {
 	// Memoized costs keyed by graph hash, verified against a stored clone
 	// to rule out collisions. Shared (and safe to share) across Clones.
 	cache *sharedCache
+
+	// counters are the always-on observability counters (stats.go), shared
+	// across Clones like the cache. durHist, when non-nil, observes the
+	// wall time of real evaluations (SetDurationHistogram).
+	counters *evalCounters
+	durHist  *telemetry.Histogram
 }
 
 // DefaultCacheLimit bounds the number of memoized topologies before the
@@ -195,7 +202,7 @@ func NewEvaluatorOptions(dist [][]float64, tm *traffic.Matrix, params Params, op
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Evaluator{dist: dist, tm: tm, params: params, n: n, cache: newSharedCache(DefaultCacheLimit)}
+	e := &Evaluator{dist: dist, tm: tm, params: params, n: n, cache: newSharedCache(DefaultCacheLimit), counters: &evalCounters{}}
 	e.setOptions(opts)
 	e.initScratch()
 	return e, nil
@@ -228,12 +235,14 @@ func (e *Evaluator) initScratch() {
 
 // Clone returns an Evaluator for the same context that may be used from a
 // different goroutine than e. The clone shares the (immutable) distance
-// matrix, traffic matrix, parameters and link-cost function, and the
+// matrix, traffic matrix, parameters and link-cost function, the
 // thread-safe memoization cache — a topology costed by any clone is a
-// cache hit for all of them — but owns its scratch buffers. Each goroutine
-// must still use its own Evaluator.
+// cache hit for all of them — and the observability counters and duration
+// histogram, but owns its scratch buffers. Each goroutine must still use
+// its own Evaluator.
 func (e *Evaluator) Clone() *Evaluator {
-	c := &Evaluator{dist: e.dist, tm: e.tm, params: e.params, linkCost: e.linkCost, n: e.n, cache: e.cache}
+	c := &Evaluator{dist: e.dist, tm: e.tm, params: e.params, linkCost: e.linkCost, n: e.n,
+		cache: e.cache, counters: e.counters, durHist: e.durHist}
 	c.setOptions(e.opts)
 	c.initScratch()
 	return c
@@ -263,6 +272,9 @@ func (e *Evaluator) Traffic() *traffic.Matrix { return e.tm }
 
 // CacheStats reports memoization hits and misses since construction,
 // summed over the evaluator and all its Clones (they share one cache).
+//
+// Deprecated: use Stats, which also reports sweep, delta and fallback
+// counters.
 func (e *Evaluator) CacheStats() (hits, misses uint64) { return e.cache.stats() }
 
 // SetCacheLimit overrides the cache reset threshold for the evaluator and
@@ -291,10 +303,15 @@ func (e *Evaluator) Cost(g *graph.Graph) float64 {
 // computeCost is the uncached fast path: routes, accumulates loads, sums
 // the objective. It does not materialize per-edge slices.
 func (e *Evaluator) computeCost(g *graph.Graph) float64 {
+	span := e.startSpan()
+	var c float64
 	if !e.routeAndLoad(g, nil, false) {
-		return math.Inf(1)
+		c = math.Inf(1)
+	} else {
+		c = e.sumCost(g)
 	}
-	return e.sumCost(g)
+	e.observe(span)
+	return c
 }
 
 // sumCost folds e.dj.load into the objective for g: Σ per-link costs plus
@@ -344,6 +361,8 @@ func (e *Evaluator) CostUncached(g *graph.Graph) float64 {
 // computeCost term for term, so Evaluate(g).Total == Cost(g) exactly (not
 // merely within tolerance).
 func (e *Evaluator) Evaluate(g *graph.Graph) *Evaluation {
+	span := e.startSpan()
+	defer e.observe(span)
 	ev := &Evaluation{}
 	n := e.n
 	rt := &Routing{
@@ -412,6 +431,7 @@ func (e *Evaluator) fillBreakdown(ev *Evaluation, g *graph.Graph) {
 // copied into the delta state (the caller then finishes the recording with
 // deltaState.finishRecord).
 func (e *Evaluator) routeAndLoad(g *graph.Graph, rt *Routing, record bool) bool {
+	e.counters.fullSweeps.Inc()
 	n := e.n
 	load := e.dj.load
 	for i := range load {

@@ -123,6 +123,7 @@ func (e *Evaluator) reconciles(base, g *graph.Graph, changed []graph.Edge) bool 
 // source (no load accumulation). Returns false — leaving the state invalid
 // — if base is disconnected.
 func (e *Evaluator) primeDelta(base *graph.Graph) bool {
+	e.counters.fullSweeps.Inc()
 	n := e.n
 	e.delta.ensure(n)
 	for s := 0; s < n; s++ {
@@ -229,7 +230,12 @@ func (e *Evaluator) CostDelta(base, g *graph.Graph, changed []graph.Edge) float6
 	if g.N() != e.n {
 		panic(fmt.Sprintf("cost: graph has %d nodes, context has %d", g.N(), e.n))
 	}
-	if !e.deltaOn || len(changed) == 0 || len(changed) > e.deltaBudget || base.N() != e.n {
+	if !e.deltaOn {
+		e.fallback(FallbackDisabled)
+		return e.Cost(g)
+	}
+	if len(changed) == 0 || len(changed) > e.deltaBudget || base.N() != e.n {
+		e.fallback(FallbackBudget)
 		return e.Cost(g)
 	}
 	if !e.cache.enabled() {
@@ -247,19 +253,28 @@ func (e *Evaluator) CostDelta(base, g *graph.Graph, changed []graph.Edge) float6
 
 func (e *Evaluator) costDeltaUncached(base, g *graph.Graph, changed []graph.Edge) float64 {
 	if !e.delta.matches(base) && !e.primeDelta(base) {
+		e.fallback(FallbackBase)
 		return e.computeCost(g) // disconnected base cannot seed increments
 	}
 	if !e.reconciles(base, g, changed) {
+		e.fallback(FallbackReconcile)
 		return e.computeCost(g)
 	}
+	span := e.startSpan()
 	connected, ok := e.evalDelta(g, changed, false)
 	if !ok {
+		e.fallback(FallbackAffected)
 		return e.computeCost(g)
 	}
 	if !connected {
+		e.fallback(FallbackDisconnected)
+		e.observe(span)
 		return math.Inf(1)
 	}
-	return e.sumCost(g)
+	e.counters.deltaEvals.Inc()
+	c := e.sumCost(g)
+	e.observe(span)
+	return c
 }
 
 // EvaluateDelta is Evaluate for a graph that differs from the evaluator's
@@ -274,20 +289,34 @@ func (e *Evaluator) EvaluateDelta(g *graph.Graph, changed []graph.Edge) *Evaluat
 		panic(fmt.Sprintf("cost: graph has %d nodes, context has %d", g.N(), e.n))
 	}
 	if !e.deltaOn {
+		e.fallback(FallbackDisabled)
 		return e.Evaluate(g)
 	}
 	st := &e.delta
-	if st.g == nil || len(changed) == 0 || len(changed) > e.deltaBudget ||
-		!e.reconciles(st.g, g, changed) {
+	if st.g == nil {
+		e.fallback(FallbackBase)
 		return e.Evaluate(g) // full sweep; records g as the new base
 	}
+	if len(changed) == 0 || len(changed) > e.deltaBudget {
+		e.fallback(FallbackBudget)
+		return e.Evaluate(g)
+	}
+	if !e.reconciles(st.g, g, changed) {
+		e.fallback(FallbackReconcile)
+		return e.Evaluate(g)
+	}
+	span := e.startSpan()
 	connected, ok := e.evalDelta(g, changed, true)
 	if !ok {
+		e.fallback(FallbackAffected)
 		return e.Evaluate(g)
 	}
 	if !connected {
+		e.fallback(FallbackDisconnected)
 		return e.Evaluate(g) // state invalidated; defensive re-route
 	}
+	e.counters.deltaEvals.Inc()
+	defer e.observe(span)
 	n := e.n
 	ev := &Evaluation{Connected: true}
 	rt := &Routing{

@@ -1,0 +1,181 @@
+package cost
+
+import (
+	"github.com/networksynth/cold/internal/telemetry"
+)
+
+// Evaluator observability: cheap always-on counters (shared across Clones,
+// like the memoization cache) plus an optional per-evaluation duration
+// histogram attached through SetDurationHistogram. Everything here is
+// passive — counters never consume randomness and never influence which
+// code path runs, so telemetry on/off cannot change results (the root
+// package's identity tests enforce this).
+
+// FallbackReason classifies why an incremental (delta) evaluation ran a
+// full sweep instead.
+type FallbackReason uint8
+
+// Fallback reasons, in rough order of how early the delta path bails.
+const (
+	// FallbackDisabled: the delta path is off for this evaluator (context
+	// below the threshold or forced off).
+	FallbackDisabled FallbackReason = iota
+	// FallbackBudget: the changed-edge set was empty or exceeded
+	// Options.DeltaEdgeBudget.
+	FallbackBudget
+	// FallbackBase: no usable base state — the retained base did not match
+	// and priming failed (disconnected base).
+	FallbackBase
+	// FallbackReconcile: the caller's changed-edge list did not reconcile
+	// with the actual diff between base and child.
+	FallbackReconcile
+	// FallbackAffected: the edit touched too many sources (more than half),
+	// so the full sweep was cheaper.
+	FallbackAffected
+	// FallbackDisconnected: a re-routed source could not reach every node;
+	// the delta state was invalidated defensively.
+	FallbackDisconnected
+
+	numFallbackReasons
+)
+
+// String names the reason as it appears in telemetry events.
+func (r FallbackReason) String() string {
+	switch r {
+	case FallbackDisabled:
+		return "disabled"
+	case FallbackBudget:
+		return "budget"
+	case FallbackBase:
+		return "base"
+	case FallbackReconcile:
+		return "reconcile"
+	case FallbackAffected:
+		return "affected"
+	case FallbackDisconnected:
+		return "disconnected"
+	default:
+		return "unknown"
+	}
+}
+
+// evalCounters are the always-on evaluator counters, shared across an
+// Evaluator and all its Clones (one atomic add per event; negligible next
+// to the sweeps they count).
+type evalCounters struct {
+	fullSweeps telemetry.Counter // all-sources Dijkstra sweeps, incl. delta priming
+	deltaEvals telemetry.Counter // successful incremental evaluations
+	fallbacks  [numFallbackReasons]telemetry.Counter
+}
+
+// FallbackCounts breaks down delta-path fallbacks by reason.
+type FallbackCounts struct {
+	Disabled     uint64
+	Budget       uint64
+	Base         uint64
+	Reconcile    uint64
+	Affected     uint64
+	Disconnected uint64
+}
+
+// Total sums all fallback reasons.
+func (f FallbackCounts) Total() uint64 {
+	return f.Disabled + f.Budget + f.Base + f.Reconcile + f.Affected + f.Disconnected
+}
+
+// Map returns the counts keyed by FallbackReason.String(), omitting zero
+// entries — the shape used in JSONL run_end events.
+func (f FallbackCounts) Map() map[string]uint64 {
+	m := make(map[string]uint64, 6)
+	for _, e := range []struct {
+		r FallbackReason
+		v uint64
+	}{
+		{FallbackDisabled, f.Disabled},
+		{FallbackBudget, f.Budget},
+		{FallbackBase, f.Base},
+		{FallbackReconcile, f.Reconcile},
+		{FallbackAffected, f.Affected},
+		{FallbackDisconnected, f.Disconnected},
+	} {
+		if e.v > 0 {
+			m[e.r.String()] = e.v
+		}
+	}
+	return m
+}
+
+// Stats is a point-in-time snapshot of an evaluator's counters, summed over
+// the evaluator and all its Clones. Counter values are not part of the
+// determinism contract: results are bit-identical across parallelism and
+// telemetry settings, but hit/miss and sweep counts may differ when workers
+// race to evaluate the same topology.
+type Stats struct {
+	// CacheHits and CacheMisses count memoization lookups.
+	CacheHits   uint64
+	CacheMisses uint64
+	// FullSweeps counts all-sources Dijkstra sweeps, including the sweeps
+	// that prime the delta path's base state.
+	FullSweeps uint64
+	// DeltaEvals counts evaluations served incrementally (re-routing only
+	// affected sources).
+	DeltaEvals uint64
+	// Fallbacks counts delta-path requests that ran a full sweep instead,
+	// by reason.
+	Fallbacks FallbackCounts
+	// Kernel is the Dijkstra kernel this evaluator resolved to: "heap" or
+	// "linear".
+	Kernel string
+}
+
+// Stats returns the evaluator's current counter snapshot.
+func (e *Evaluator) Stats() Stats {
+	hits, misses := e.cache.stats()
+	kernel := "linear"
+	if e.useHeap {
+		kernel = "heap"
+	}
+	return Stats{
+		CacheHits:   hits,
+		CacheMisses: misses,
+		FullSweeps:  e.counters.fullSweeps.Load(),
+		DeltaEvals:  e.counters.deltaEvals.Load(),
+		Fallbacks: FallbackCounts{
+			Disabled:     e.counters.fallbacks[FallbackDisabled].Load(),
+			Budget:       e.counters.fallbacks[FallbackBudget].Load(),
+			Base:         e.counters.fallbacks[FallbackBase].Load(),
+			Reconcile:    e.counters.fallbacks[FallbackReconcile].Load(),
+			Affected:     e.counters.fallbacks[FallbackAffected].Load(),
+			Disconnected: e.counters.fallbacks[FallbackDisconnected].Load(),
+		},
+		Kernel: kernel,
+	}
+}
+
+// fallback counts one delta-path fallback.
+func (e *Evaluator) fallback(r FallbackReason) { e.counters.fallbacks[r].Inc() }
+
+// SetDurationHistogram attaches a histogram observing the wall time (in
+// nanoseconds) of every real evaluation: full sweeps, incremental
+// evaluations and Evaluate breakdowns. Memoization hits are not observed —
+// the histogram answers "how long does evaluating a topology take", not
+// "how long does a lookup take". The histogram is shared with Clones made
+// after the call; pass nil to detach. Attaching a histogram changes
+// timings only, never results.
+func (e *Evaluator) SetDurationHistogram(h *telemetry.Histogram) { e.durHist = h }
+
+// startSpan begins a duration observation when a histogram is attached; the
+// zero Span otherwise (observe then ignores it).
+func (e *Evaluator) startSpan() telemetry.Span {
+	if e.durHist == nil {
+		return telemetry.Span{}
+	}
+	return telemetry.StartSpan()
+}
+
+// observe completes a duration observation started by startSpan.
+func (e *Evaluator) observe(s telemetry.Span) {
+	if e.durHist != nil && s.Running() {
+		e.durHist.Observe(float64(s.ElapsedNs()))
+	}
+}

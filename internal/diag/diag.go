@@ -1,0 +1,51 @@
+// Package diag serves the live debug endpoint the CLI commands expose with
+// -metrics: expvar (/debug/vars) with the process's telemetry snapshot
+// published under the "cold" variable, and net/http/pprof (/debug/pprof/)
+// for CPU, heap and contention profiles of a running synthesis.
+package diag
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"sync/atomic"
+)
+
+// snapshot holds the currently published snapshot function. expvar
+// variables cannot be unpublished or replaced, so the "cold" variable is
+// registered once and indirects through this value — repeated Serve calls
+// in one process (tests, embedded use) just swap the function.
+var snapshot atomic.Value // of func() any
+
+// Serve publishes snap as the expvar variable "cold" and starts an HTTP
+// listener on addr (host:port; an empty host binds all interfaces, port 0
+// picks a free one) serving the default mux — /debug/vars and
+// /debug/pprof/. It returns the bound address and a shutdown function.
+// The server is for diagnostics, not production exposure: bind loopback
+// unless you mean it.
+func Serve(addr string, snap func() any) (string, func() error, error) {
+	Publish(snap)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("diag: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln) //nolint:errcheck // Close's ErrServerClosed is the shutdown path
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// Publish exposes snap under the expvar variable "cold" without starting a
+// listener (for processes that already serve the default mux).
+func Publish(snap func() any) {
+	snapshot.Store(snap)
+	if expvar.Get("cold") == nil {
+		expvar.Publish("cold", expvar.Func(func() any {
+			if f, ok := snapshot.Load().(func() any); ok && f != nil {
+				return f()
+			}
+			return nil
+		}))
+	}
+}

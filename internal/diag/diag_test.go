@@ -1,0 +1,73 @@
+package diag
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServePublishesSnapshot(t *testing.T) {
+	type snap struct {
+		Runs int `json:"runs"`
+	}
+	addr, shutdown, err := Serve("127.0.0.1:0", func() any { return snap{Runs: 7} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown() //nolint:errcheck
+
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	var got snap
+	if err := json.Unmarshal(vars["cold"], &got); err != nil {
+		t.Fatalf("cold var missing or malformed: %v (vars: %s)", err, body)
+	}
+	if got.Runs != 7 {
+		t.Fatalf("cold.runs = %d, want 7", got.Runs)
+	}
+
+	// pprof must be mounted on the same mux.
+	resp2, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", resp2.StatusCode)
+	}
+
+	// Re-serving swaps the snapshot function instead of panicking on a
+	// duplicate expvar registration.
+	addr2, shutdown2, err := Serve("127.0.0.1:0", func() any { return snap{Runs: 9} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown2() //nolint:errcheck
+	resp3, err := http.Get("http://" + addr2 + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	body3, _ := io.ReadAll(resp3.Body)
+	if err := json.Unmarshal(body3, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(vars["cold"], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Runs != 9 {
+		t.Fatalf("after re-serve, cold.runs = %d, want 9", got.Runs)
+	}
+}

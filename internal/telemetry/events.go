@@ -1,0 +1,105 @@
+package telemetry
+
+import "math"
+
+// Trace-event payloads, schema version 1 (SchemaVersion). Each struct
+// corresponds to one event name; the JSONL recorder stamps "v" and "event"
+// and splices the payload fields after them. Replica indices are zero-based;
+// single-network runs (Generate) report replica 0. Event names:
+//
+//	run_start     — one per ensemble run, before any replica starts
+//	replica_start — a worker picked up a replica
+//	generation    — one per GA generation of every replica
+//	phase         — per-replica rollup of one GA phase (breed/evaluate)
+//	replica_end   — a replica finished (or failed: Err non-empty)
+//	run_end       — one per ensemble run, after all replicas
+//
+// All durations are nanoseconds of monotonic wall time. Cost fields are
+// sanitized: ±Inf and NaN (possible only for degenerate configurations)
+// are clamped to ±MaxFloat64 so every event is valid JSON.
+
+// RunStart describes an ensemble run about to execute.
+type RunStart struct {
+	Replicas int `json:"replicas"`
+	Workers  int `json:"workers"`
+	NumPoPs  int `json:"n"`
+	Pop      int `json:"pop"`
+	Gens     int `json:"gens"`
+}
+
+// ReplicaStart marks a replica beginning execution on a worker. QueueNs is
+// how long the replica waited between becoming eligible and a worker
+// picking it up (0 on the serial path).
+type ReplicaStart struct {
+	Replica int   `json:"replica"`
+	Worker  int   `json:"worker"`
+	QueueNs int64 `json:"queue_ns"`
+}
+
+// Generation reports one GA generation's population statistics.
+type Generation struct {
+	Replica int     `json:"replica"`
+	Gen     int     `json:"gen"`
+	Best    float64 `json:"best"`
+	Mean    float64 `json:"mean"`
+	Worst   float64 `json:"worst"`
+	// Diversity is the mean edge-set distance (graph.DiffCount) from the
+	// generation's best member to every other member.
+	Diversity float64 `json:"diversity"`
+	// EliteSurvived counts members of the previous generation's elite that
+	// remain in the current elite (0 for generation 0).
+	EliteSurvived int    `json:"elite_survived"`
+	BreedNs       int64  `json:"breed_ns"`
+	EvalNs        int64  `json:"eval_ns"`
+	Evals         uint64 `json:"evals"` // cumulative cost-function calls this run
+}
+
+// PhaseTotal is a per-replica rollup of one GA phase across the whole run.
+type PhaseTotal struct {
+	Replica int    `json:"replica"`
+	Phase   string `json:"phase"` // "breed" or "evaluate"
+	TotalNs int64  `json:"total_ns"`
+	Count   int    `json:"count"` // generations contributing
+}
+
+// ReplicaEnd marks a replica finishing. On failure Err carries the error
+// text and the result fields are zero.
+type ReplicaEnd struct {
+	Replica int     `json:"replica"`
+	Worker  int     `json:"worker"`
+	DurNs   int64   `json:"dur_ns"`
+	Cost    float64 `json:"cost"`
+	Links   int     `json:"links"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// RunEnd summarizes an ensemble run. Utilization is Σ replica busy time
+// over workers × wall time, in (0, 1]; the evaluator counters are totals
+// across every replica's evaluator at the moment the run finished.
+type RunEnd struct {
+	Replicas    int               `json:"replicas"`
+	Workers     int               `json:"workers"`
+	DurNs       int64             `json:"dur_ns"`
+	BusyNs      int64             `json:"busy_ns"`
+	Utilization float64           `json:"utilization"`
+	CacheHits   uint64            `json:"cache_hits"`
+	CacheMisses uint64            `json:"cache_misses"`
+	FullSweeps  uint64            `json:"full_sweeps"`
+	DeltaEvals  uint64            `json:"delta_evals"`
+	Fallbacks   map[string]uint64 `json:"fallbacks,omitempty"`
+}
+
+// SanitizeFloat clamps non-finite values so they survive JSON encoding:
+// NaN maps to 0, ±Inf to ±MaxFloat64.
+func SanitizeFloat(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	default:
+		return v
+	}
+}

@@ -1,0 +1,391 @@
+package cold
+
+import (
+	"io"
+	"sync"
+
+	"github.com/networksynth/cold/internal/core"
+	"github.com/networksynth/cold/internal/cost"
+	"github.com/networksynth/cold/internal/telemetry"
+)
+
+// TraceSchemaVersion is the JSONL trace schema version stamped into every
+// event line as "v". The schema is documented in DESIGN.md ("Telemetry").
+const TraceSchemaVersion = telemetry.SchemaVersion
+
+// EvalStats are the cost evaluator's counters: memoization effectiveness,
+// full versus incremental (delta) evaluations, and why delta requests fell
+// back to full sweeps. Counter values are NOT part of the determinism
+// contract — generated networks are bit-identical across Parallelism and
+// telemetry settings, but parallel workers racing to evaluate the same
+// topology can shift hit/miss and sweep counts between runs.
+type EvalStats struct {
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// FullSweeps counts all-sources shortest-path sweeps, including the
+	// sweeps that prime the delta path's base state.
+	FullSweeps uint64 `json:"full_sweeps"`
+	// DeltaEvals counts evaluations served incrementally.
+	DeltaEvals uint64 `json:"delta_evals"`
+	// Fallbacks counts delta requests that ran a full sweep instead, keyed
+	// by reason: "disabled", "budget", "base", "reconcile", "affected",
+	// "disconnected". Zero-count reasons are omitted.
+	Fallbacks map[string]uint64 `json:"fallbacks,omitempty"`
+	// Kernel is the shortest-path kernel the evaluator selected: "heap" or
+	// "linear". Empty in aggregated (multi-replica) stats.
+	Kernel string `json:"kernel,omitempty"`
+}
+
+func newEvalStats(s cost.Stats) EvalStats {
+	return EvalStats{
+		CacheHits:   s.CacheHits,
+		CacheMisses: s.CacheMisses,
+		FullSweeps:  s.FullSweeps,
+		DeltaEvals:  s.DeltaEvals,
+		Fallbacks:   s.Fallbacks.Map(),
+		Kernel:      s.Kernel,
+	}
+}
+
+// DurationStats summarizes a duration histogram in nanoseconds. Quantiles
+// are bucket-resolution estimates (each reported as its bucket's upper
+// bound).
+type DurationStats struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P90Ns  float64 `json:"p90_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
+// TelemetrySnapshot is a point-in-time view of a Telemetry's aggregated
+// instruments, safe to read while runs are in flight. It marshals to JSON,
+// so it can be published directly through expvar.Func.
+type TelemetrySnapshot struct {
+	SchemaVersion int `json:"schema_version"`
+
+	Runs            uint64 `json:"runs"`             // ensemble runs started
+	ReplicasStarted uint64 `json:"replicas_started"` // replicas picked up
+	ReplicasDone    uint64 `json:"replicas_done"`    // replicas finished (incl. failed)
+	ActiveReplicas  int64  `json:"active_replicas"`  // currently executing
+	Generations     uint64 `json:"generations"`      // GA generations completed
+	Evaluations     uint64 `json:"evaluations"`      // cost-function calls (incl. memoized)
+
+	BusyNs  int64 `json:"busy_ns"`  // Σ replica wall time
+	QueueNs int64 `json:"queue_ns"` // Σ replica queue wait before pickup
+
+	// Eval aggregates evaluator counters across all finished replicas
+	// (in-flight replicas contribute after they end).
+	Eval EvalStats `json:"eval"`
+
+	// EvalDuration summarizes the wall time of real (non-memoized)
+	// cost evaluations, live across in-flight replicas.
+	EvalDuration DurationStats `json:"eval_duration"`
+}
+
+// Telemetry collects metrics and (optionally) a JSONL event trace from every
+// run of a Config that points at it. The zero value is not usable; create
+// with NewTelemetry. A nil *Telemetry disables all collection — the hot
+// paths then pay a single nil check.
+//
+// One Telemetry may be shared by concurrent runs; instruments are atomic
+// and Snapshot is safe at any time. Attaching telemetry never changes
+// generated networks: instruments observe the clock and already-computed
+// state, never the random streams (TestTelemetryDoesNotChangeResults
+// enforces this bit-for-bit).
+type Telemetry struct {
+	rec     *telemetry.JSONLRecorder
+	evalDur *telemetry.Histogram
+
+	runs            telemetry.Counter
+	replicasStarted telemetry.Counter
+	replicasDone    telemetry.Counter
+	activeReplicas  telemetry.Gauge
+	generations     telemetry.Counter
+	evaluations     telemetry.Counter
+	busyNs          telemetry.Counter
+	queueNs         telemetry.Counter
+
+	mu  sync.Mutex
+	agg EvalStats // evaluator counters summed over finished replicas
+}
+
+// NewTelemetry returns a ready Telemetry with no trace sink attached.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{evalDur: telemetry.NewHistogram(telemetry.DurationBuckets())}
+}
+
+// TraceTo attaches a JSONL trace sink: one JSON object per line, each
+// stamped with the schema version ("v") and an "event" name (run_start,
+// replica_start, generation, phase, replica_end, run_end — see DESIGN.md
+// for the full schema). Writes are serialized internally, so w needs no
+// locking of its own; buffer and flush are the caller's concern. Attach
+// before the first run using this Telemetry; the first write error is
+// retained and returned by TraceErr, and later writes are dropped.
+// Returns t for chaining.
+func (t *Telemetry) TraceTo(w io.Writer) *Telemetry {
+	t.rec = telemetry.NewJSONL(w)
+	return t
+}
+
+// TraceErr returns the first error the trace sink hit, or nil (also when
+// no sink is attached).
+func (t *Telemetry) TraceErr() error {
+	if t == nil || t.rec == nil {
+		return nil
+	}
+	return t.rec.Err()
+}
+
+// Snapshot returns a point-in-time view of every instrument. Safe to call
+// concurrently with runs (expvar integration calls it on every scrape).
+func (t *Telemetry) Snapshot() TelemetrySnapshot {
+	if t == nil {
+		return TelemetrySnapshot{SchemaVersion: TraceSchemaVersion}
+	}
+	t.mu.Lock()
+	agg := t.agg
+	if agg.Fallbacks != nil {
+		m := make(map[string]uint64, len(agg.Fallbacks))
+		for k, v := range agg.Fallbacks {
+			m[k] = v
+		}
+		agg.Fallbacks = m
+	}
+	t.mu.Unlock()
+	h := t.evalDur.Snapshot()
+	return TelemetrySnapshot{
+		SchemaVersion:   TraceSchemaVersion,
+		Runs:            t.runs.Load(),
+		ReplicasStarted: t.replicasStarted.Load(),
+		ReplicasDone:    t.replicasDone.Load(),
+		ActiveReplicas:  t.activeReplicas.Load(),
+		Generations:     t.generations.Load(),
+		Evaluations:     t.evaluations.Load(),
+		BusyNs:          int64(t.busyNs.Load()),
+		QueueNs:         int64(t.queueNs.Load()),
+		Eval:            agg,
+		EvalDuration: DurationStats{
+			Count:  h.Count,
+			MeanNs: h.Mean(),
+			P50Ns:  h.Quantile(0.50),
+			P90Ns:  h.Quantile(0.90),
+			P99Ns:  h.Quantile(0.99),
+		},
+	}
+}
+
+// record emits one trace event when a sink is attached.
+func (t *Telemetry) record(name string, payload any) {
+	if t == nil || t.rec == nil {
+		return
+	}
+	t.rec.Record(name, payload)
+}
+
+// addEvalStats folds one finished replica's evaluator counters into the
+// aggregate (Kernel is per-evaluator, so it is dropped).
+func (t *Telemetry) addEvalStats(s cost.Stats) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.agg.CacheHits += s.CacheHits
+	t.agg.CacheMisses += s.CacheMisses
+	t.agg.FullSweeps += s.FullSweeps
+	t.agg.DeltaEvals += s.DeltaEvals
+	for k, v := range s.Fallbacks.Map() {
+		if t.agg.Fallbacks == nil {
+			t.agg.Fallbacks = make(map[string]uint64)
+		}
+		t.agg.Fallbacks[k] += v
+	}
+}
+
+// runTracker scopes one ensemble run's trace events and rollups. A nil
+// tracker (telemetry off) is inert.
+type runTracker struct {
+	t        *Telemetry
+	replicas int
+	workers  int
+	span     telemetry.Span
+	busyNs   telemetry.Counter
+
+	mu  sync.Mutex
+	agg EvalStats
+}
+
+// startRun opens an ensemble run scope and emits run_start.
+func (t *Telemetry) startRun(replicas, workers int, cfg Config) *runTracker {
+	if t == nil {
+		return nil
+	}
+	t.runs.Inc()
+	settings := core.DefaultSettings()
+	if cfg.Optimizer.PopulationSize != 0 {
+		settings.PopulationSize = cfg.Optimizer.PopulationSize
+	}
+	if cfg.Optimizer.Generations != 0 {
+		settings.Generations = cfg.Optimizer.Generations
+	}
+	t.record("run_start", telemetry.RunStart{
+		Replicas: replicas,
+		Workers:  workers,
+		NumPoPs:  cfg.NumPoPs,
+		Pop:      settings.PopulationSize,
+		Gens:     settings.Generations,
+	})
+	return &runTracker{t: t, replicas: replicas, workers: workers, span: telemetry.StartSpan()}
+}
+
+// end closes the run scope and emits run_end with utilization and the
+// evaluator counter totals across the run's replicas.
+func (r *runTracker) end() {
+	if r == nil {
+		return
+	}
+	dur := r.span.ElapsedNs()
+	busy := int64(r.busyNs.Load())
+	util := 0.0
+	if dur > 0 && r.workers > 0 {
+		util = float64(busy) / (float64(dur) * float64(r.workers))
+	}
+	r.mu.Lock()
+	agg := r.agg
+	r.mu.Unlock()
+	r.t.record("run_end", telemetry.RunEnd{
+		Replicas:    r.replicas,
+		Workers:     r.workers,
+		DurNs:       dur,
+		BusyNs:      busy,
+		Utilization: util,
+		CacheHits:   agg.CacheHits,
+		CacheMisses: agg.CacheMisses,
+		FullSweeps:  agg.FullSweeps,
+		DeltaEvals:  agg.DeltaEvals,
+		Fallbacks:   agg.Fallbacks,
+	})
+}
+
+func (r *runTracker) addEvalStats(s cost.Stats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.agg.CacheHits += s.CacheHits
+	r.agg.CacheMisses += s.CacheMisses
+	r.agg.FullSweeps += s.FullSweeps
+	r.agg.DeltaEvals += s.DeltaEvals
+	for k, v := range s.Fallbacks.Map() {
+		if r.agg.Fallbacks == nil {
+			r.agg.Fallbacks = make(map[string]uint64)
+		}
+		r.agg.Fallbacks[k] += v
+	}
+}
+
+// replicaTracker scopes one replica's events: replica_start has already
+// been emitted when it exists; the GA observer and end feed it. All methods
+// are nil-safe; a replica runs on one goroutine, so the non-atomic fields
+// need no locking.
+type replicaTracker struct {
+	t       *Telemetry
+	run     *runTracker
+	replica int
+	worker  int
+	span    telemetry.Span
+
+	prevEvals uint64
+	breedNs   int64
+	evalNs    int64
+	gens      int
+}
+
+// replica opens a replica scope (emitting replica_start) inside an optional
+// run scope. Single-network runs pass run == nil and replica 0.
+func (t *Telemetry) replica(run *runTracker, replica, worker int, queueNs int64) *replicaTracker {
+	if t == nil {
+		return nil
+	}
+	t.replicasStarted.Inc()
+	t.activeReplicas.Add(1)
+	t.queueNs.Add(uint64(queueNs))
+	t.record("replica_start", telemetry.ReplicaStart{Replica: replica, Worker: worker, QueueNs: queueNs})
+	return &replicaTracker{t: t, run: run, replica: replica, worker: worker, span: telemetry.StartSpan()}
+}
+
+// attach points the context's evaluator at the shared duration histogram.
+func (rt *replicaTracker) attach(e *cost.Evaluator) {
+	if rt == nil {
+		return
+	}
+	e.SetDurationHistogram(rt.t.evalDur)
+}
+
+// observer returns the GA generation callback for this replica, or nil when
+// telemetry is off (leaving core.Settings.Observer unset).
+func (rt *replicaTracker) observer() func(core.GenStats) {
+	if rt == nil {
+		return nil
+	}
+	return func(st core.GenStats) {
+		t := rt.t
+		t.generations.Inc()
+		t.evaluations.Add(st.Evals - rt.prevEvals)
+		rt.prevEvals = st.Evals
+		rt.breedNs += st.BreedNs
+		rt.evalNs += st.EvalNs
+		rt.gens++
+		t.record("generation", telemetry.Generation{
+			Replica:       rt.replica,
+			Gen:           st.Gen,
+			Best:          telemetry.SanitizeFloat(st.Best),
+			Mean:          telemetry.SanitizeFloat(st.Mean),
+			Worst:         telemetry.SanitizeFloat(st.Worst),
+			Diversity:     st.Diversity,
+			EliteSurvived: st.EliteSurvived,
+			BreedNs:       st.BreedNs,
+			EvalNs:        st.EvalNs,
+			Evals:         st.Evals,
+		})
+	}
+}
+
+// end closes the replica scope: phase rollups, replica_end, and the
+// evaluator counter aggregation. e may be nil when the context never built.
+func (rt *replicaTracker) end(nw *Network, e *cost.Evaluator, err error) {
+	if rt == nil {
+		return
+	}
+	t := rt.t
+	dur := rt.span.ElapsedNs()
+	t.activeReplicas.Add(-1)
+	t.replicasDone.Inc()
+	t.busyNs.Add(uint64(dur))
+	rt.run.busy(dur)
+	if rt.gens > 0 {
+		t.record("phase", telemetry.PhaseTotal{Replica: rt.replica, Phase: "breed", TotalNs: rt.breedNs, Count: rt.gens})
+		t.record("phase", telemetry.PhaseTotal{Replica: rt.replica, Phase: "evaluate", TotalNs: rt.evalNs, Count: rt.gens})
+	}
+	ev := telemetry.ReplicaEnd{Replica: rt.replica, Worker: rt.worker, DurNs: dur}
+	switch {
+	case err != nil:
+		ev.Err = err.Error()
+	case nw != nil:
+		ev.Cost = telemetry.SanitizeFloat(nw.Cost.Total)
+		ev.Links = len(nw.Links)
+	}
+	t.record("replica_end", ev)
+	if e != nil {
+		st := e.Stats()
+		t.addEvalStats(st)
+		rt.run.addEvalStats(st)
+	}
+}
+
+// busy folds one replica's wall time into the run rollup.
+func (r *runTracker) busy(durNs int64) {
+	if r == nil {
+		return
+	}
+	r.busyNs.Add(uint64(durNs))
+}

@@ -1,0 +1,285 @@
+package cold
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exportBytes marshals a network to its canonical JSON export.
+func exportBytes(t *testing.T, nw *Network) []byte {
+	t.Helper()
+	b, err := json.Marshal(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestTelemetryDoesNotChangeResults is the determinism contract for the
+// whole public surface: with a live telemetry (including a JSONL trace
+// sink), Generate and GenerateEnsemble must produce byte-identical
+// networks, at every parallelism.
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	base, err := Generate(fastConfig(12, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	cfg := fastConfig(12, 9)
+	cfg.Telemetry = NewTelemetry().TraceTo(&trace)
+	traced, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := exportBytes(t, base), exportBytes(t, traced)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("telemetry changed the generated network:\n%s\nvs\n%s", a, b)
+	}
+	if trace.Len() == 0 {
+		t.Fatal("trace sink got no events")
+	}
+
+	const count = 4
+	for _, par := range []int{1, 4} {
+		plain := fastConfig(10, 5)
+		plain.Parallelism = par
+		want, err := GenerateEnsemble(plain, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		observed := fastConfig(10, 5)
+		observed.Parallelism = par
+		observed.Telemetry = NewTelemetry().TraceTo(&bytes.Buffer{})
+		got, err := GenerateEnsemble(observed, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !bytes.Equal(exportBytes(t, want[i]), exportBytes(t, got[i])) {
+				t.Fatalf("parallelism %d: ensemble member %d differs under telemetry", par, i)
+			}
+		}
+	}
+}
+
+// TestTelemetryTraceSchema checks the JSONL event stream of an ensemble
+// run: versioned lines, the documented event vocabulary, and the expected
+// event counts and ordering.
+func TestTelemetryTraceSchema(t *testing.T) {
+	const count = 3
+	var trace bytes.Buffer
+	tel := NewTelemetry().TraceTo(&trace)
+	cfg := fastConfig(9, 2)
+	cfg.Parallelism = 2
+	cfg.Telemetry = tel
+	if _, err := GenerateEnsemble(cfg, count); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.TraceErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	type event struct {
+		V     int    `json:"v"`
+		Event string `json:"event"`
+	}
+	counts := map[string]int{}
+	var order []string
+	sc := bufio.NewScanner(&trace)
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("invalid trace line %q: %v", sc.Text(), err)
+		}
+		if e.V != TraceSchemaVersion {
+			t.Fatalf("event %q has v=%d, want %d", e.Event, e.V, TraceSchemaVersion)
+		}
+		counts[e.Event]++
+		order = append(order, e.Event)
+	}
+	if order[0] != "run_start" || order[len(order)-1] != "run_end" {
+		t.Fatalf("trace must be bracketed by run_start..run_end, got %s..%s", order[0], order[len(order)-1])
+	}
+	if counts["run_start"] != 1 || counts["run_end"] != 1 {
+		t.Fatalf("run events: %d start, %d end, want 1 each", counts["run_start"], counts["run_end"])
+	}
+	if counts["replica_start"] != count || counts["replica_end"] != count {
+		t.Fatalf("replica events: %d start, %d end, want %d each", counts["replica_start"], counts["replica_end"], count)
+	}
+	wantGens := count * 25 // fastConfig runs 25 generations
+	if counts["generation"] != wantGens {
+		t.Fatalf("%d generation events, want %d", counts["generation"], wantGens)
+	}
+	if counts["phase"] != 2*count {
+		t.Fatalf("%d phase events, want %d (breed+evaluate per replica)", counts["phase"], 2*count)
+	}
+	for name := range counts {
+		switch name {
+		case "run_start", "run_end", "replica_start", "replica_end", "generation", "phase":
+		default:
+			t.Fatalf("undocumented event %q in trace", name)
+		}
+	}
+}
+
+// TestTelemetrySnapshot checks the aggregated counters after runs.
+func TestTelemetrySnapshot(t *testing.T) {
+	var nilTel *Telemetry
+	if s := nilTel.Snapshot(); s.SchemaVersion != TraceSchemaVersion || s.Runs != 0 {
+		t.Fatalf("nil telemetry snapshot = %+v", s)
+	}
+
+	tel := NewTelemetry()
+	const count = 3
+	cfg := fastConfig(9, 4)
+	cfg.Parallelism = 2
+	cfg.Telemetry = tel
+	if _, err := GenerateEnsemble(cfg, count); err != nil {
+		t.Fatal(err)
+	}
+	s := tel.Snapshot()
+	if s.Runs != 1 {
+		t.Fatalf("runs = %d, want 1", s.Runs)
+	}
+	if s.ReplicasStarted != count || s.ReplicasDone != count {
+		t.Fatalf("replicas started %d done %d, want %d", s.ReplicasStarted, s.ReplicasDone, count)
+	}
+	if s.ActiveReplicas != 0 {
+		t.Fatalf("active replicas %d after run", s.ActiveReplicas)
+	}
+	if s.Generations != count*25 {
+		t.Fatalf("generations = %d, want %d", s.Generations, count*25)
+	}
+	if s.Evaluations == 0 || s.Eval.CacheMisses == 0 || s.Eval.FullSweeps == 0 {
+		t.Fatalf("evaluator counters empty: %+v", s)
+	}
+	if s.EvalDuration.Count == 0 || s.EvalDuration.MeanNs <= 0 {
+		t.Fatalf("duration histogram empty: %+v", s.EvalDuration)
+	}
+	if s.BusyNs <= 0 {
+		t.Fatalf("busy ns = %d", s.BusyNs)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot must marshal for expvar: %v", err)
+	}
+
+	// A second run on the same Telemetry accumulates.
+	if _, err := Generate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s2 := tel.Snapshot()
+	if s2.ReplicasDone != count+1 {
+		t.Fatalf("replicas done = %d after single run, want %d", s2.ReplicasDone, count+1)
+	}
+	if s2.Runs != 1 {
+		t.Fatalf("single-network Generate must not count as a run, got %d", s2.Runs)
+	}
+}
+
+// TestNetworkEvalStats checks the per-network evaluator counter snapshot.
+func TestNetworkEvalStats(t *testing.T) {
+	nw, err := Generate(fastConfig(12, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Eval.CacheMisses == 0 || nw.Eval.FullSweeps == 0 {
+		t.Fatalf("network eval stats empty: %+v", nw.Eval)
+	}
+	if nw.Eval.Kernel != "heap" && nw.Eval.Kernel != "linear" {
+		t.Fatalf("kernel %q", nw.Eval.Kernel)
+	}
+	total := nw.Eval.CacheHits + nw.Eval.CacheMisses
+	if total == 0 {
+		t.Fatal("no cache lookups recorded")
+	}
+	// The export schema deliberately excludes counters (they are not
+	// deterministic); round-tripping must zero them, not fail.
+	b := exportBytes(t, nw)
+	var back Network
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Eval.CacheMisses != 0 {
+		t.Fatal("Eval stats leaked into the JSON export schema")
+	}
+}
+
+// TestEnsembleProgressOrdering pins the ProgressFunc contract: done is
+// strictly increasing and reaches total exactly once, for every
+// parallelism.
+func TestEnsembleProgressOrdering(t *testing.T) {
+	const count = 7
+	for _, par := range []int{1, 2, 8} {
+		cfg := fastConfig(8, 3)
+		cfg.Parallelism = par
+		var mu sync.Mutex
+		var calls [][2]int
+		cfg.Progress = func(done, total int) {
+			mu.Lock()
+			calls = append(calls, [2]int{done, total})
+			mu.Unlock()
+		}
+		if _, err := GenerateEnsemble(cfg, count); err != nil {
+			t.Fatal(err)
+		}
+		if len(calls) != count {
+			t.Fatalf("parallelism %d: %d progress calls, want %d", par, len(calls), count)
+		}
+		for i, c := range calls {
+			if c[0] != i+1 {
+				t.Fatalf("parallelism %d: call %d reported done=%d, want strictly increasing %d", par, i, c[0], i+1)
+			}
+			if c[1] != count {
+				t.Fatalf("parallelism %d: call %d reported total=%d, want %d", par, i, c[1], count)
+			}
+		}
+		if calls[len(calls)-1][0] != count {
+			t.Fatalf("parallelism %d: final done=%d never reached total", par, calls[len(calls)-1][0])
+		}
+	}
+}
+
+// TestEnsembleProgressStopsAfterCancel pins the other half of the
+// contract: once GenerateEnsembleContext has returned (here: cancelled),
+// Progress is never called again.
+func TestEnsembleProgressStopsAfterCancel(t *testing.T) {
+	cfg := fastConfig(14, 8)
+	cfg.Parallelism = 2
+	cfg.Optimizer.Generations = 200 // long enough to cancel mid-flight
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var mu sync.Mutex
+	returned := false
+	late := false
+	calls := 0
+	cfg.Progress = func(done, total int) {
+		mu.Lock()
+		calls++
+		if returned {
+			late = true
+		}
+		if calls == 1 {
+			cancel()
+		}
+		mu.Unlock()
+	}
+	_, err := GenerateEnsembleContext(ctx, cfg, 8)
+	mu.Lock()
+	returned = true
+	mu.Unlock()
+	if err == nil {
+		t.Fatal("cancelled ensemble returned no error")
+	}
+	// Give any straggling worker goroutine a chance to misbehave.
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if late {
+		t.Fatal("Progress called after GenerateEnsembleContext returned")
+	}
+}
