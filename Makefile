@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke fuzz ensemble
+.PHONY: build test vet race check examples bench bench-smoke fuzz ensemble
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,17 @@ check: build vet race
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
+# Every example must keep compiling — `go build ./...` covers them, but
+# this target makes the gate explicit and CI-visible when they break.
+examples:
+	$(GO) vet ./examples/...
+	$(GO) build ./examples/...
+
 # Fast telemetry-instrumented benchmark run writing machine-readable
 # results to BENCH_COLD.json (format: EXPERIMENTS.md). CI runs this and
 # uploads the file as a build artifact.
 bench-smoke:
-	$(GO) run ./cmd/coldbench -trials 4 -n 16 -pop 24 -gens 12 -json BENCH_COLD.json ensemble breeding
+	$(GO) run ./cmd/coldbench -trials 4 -n 16 -pop 24 -gens 12 -json BENCH_COLD.json ensemble breeding bases
 
 # Short fuzzing smoke on the evaluator equivalence targets (CI runs this;
 # crank -fuzztime locally for a real session). Corpora live under

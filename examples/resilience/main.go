@@ -26,12 +26,7 @@ func main() {
 	pts := geom.NewUniform().Sample(n, rng)
 	pops := traffic.NewExponential().Sample(n, rng)
 	tm := traffic.Gravity(pops, traffic.DefaultGravityScale)
-	var totalDemand float64
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			totalDemand += tm.Demand[i][j]
-		}
-	}
+	totalDemand := tm.TotalUnordered()
 
 	regimes := []struct {
 		name string

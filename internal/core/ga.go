@@ -120,8 +120,8 @@ type Settings struct {
 	// Parallelism is the number of goroutines used per generation (0 or 1
 	// means serial). Both stages of the GA hot loop fan out across the
 	// worker pool: offspring construction — crossover, mutation and the
-	// initial random graphs, where each slot's randomness comes from its
-	// own (seed, generation, slot) stream — and fitness evaluation, where
+	// whole initial population, where each slot's randomness comes from
+	// its own (seed, generation, slot) stream — and fitness evaluation, where
 	// each worker uses its own cost.Evaluator clone sharing one
 	// memoization cache. Streams make offspring independent of which
 	// worker builds them, and costs land at their population index, so
@@ -312,8 +312,7 @@ type runner struct {
 	bred        bool
 	deltaBudget int
 
-	// evaluate scratch for the lineage-grouped evaluation order.
-	evalOrd    []int
+	// evaluate scratch for the per-slot delta-eligibility flags.
 	evalGroup  []bool
 	groupCount []int
 }
@@ -407,23 +406,18 @@ func (ga *runner) forSlots(lo, hi int, body func(slot int, sc *breedScratch)) {
 	wg.Wait()
 }
 
-// initialPopulation builds generation zero per §4.1: the distance MST, the
-// clique, any provided seeds, and Erdős–Rényi random graphs (repaired to be
-// connected) for the rest. The random members are constructed in parallel,
-// each slot drawing from its own generation-0 stream.
+// initialPopulation builds generation zero per §4.1: slot 0 holds the
+// distance MST, slot 1 the clique, the next slots any provided seeds, and
+// Erdős–Rényi random graphs (repaired to be connected) fill the rest. The
+// whole generation is constructed in one fan-out across the worker pool —
+// the fixed members consume no randomness and each random slot draws from
+// its own generation-0 stream, so the slot→member mapping (and with it the
+// whole run) is identical for every Parallelism value.
 func (ga *runner) initialPopulation() []*graph.Graph {
 	n := ga.n
-	pop := make([]*graph.Graph, 0, ga.s.PopulationSize)
-	pop = append(pop, graph.MST(n, ga.e.Dist()))
-	if len(pop) < ga.s.PopulationSize {
-		pop = append(pop, graph.Complete(n))
-	}
-	for _, seed := range ga.s.Seeds {
-		if len(pop) >= ga.s.PopulationSize {
-			break
-		}
-		pop = append(pop, seed.Clone())
-	}
+	m := ga.s.PopulationSize
+	pop := make([]*graph.Graph, m)
+	fixed := min(m, 2+len(ga.s.Seeds))
 	p := ga.s.InitialEdgeProb
 	if p == 0 {
 		// Aim for ~1.5 links per node, clamped to a proper probability.
@@ -434,20 +428,27 @@ func (ga *runner) initialPopulation() []*graph.Graph {
 			p = 1
 		}
 	}
-	start := len(pop)
-	pop = pop[:ga.s.PopulationSize]
-	ga.forSlots(start, len(pop), func(slot int, sc *breedScratch) {
-		rng := ga.stream(0, slot)
-		g := graph.New(n)
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				if rng.Float64() < p {
-					g.AddEdge(i, j)
+	ga.forSlots(0, m, func(slot int, sc *breedScratch) {
+		switch {
+		case slot == 0:
+			pop[slot] = graph.MST(n, ga.e.Dist())
+		case slot == 1:
+			pop[slot] = graph.Complete(n)
+		case slot < fixed:
+			pop[slot] = ga.s.Seeds[slot-2].Clone()
+		default:
+			rng := ga.stream(0, slot)
+			g := graph.New(n)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if rng.Float64() < p {
+						g.AddEdge(i, j)
+					}
 				}
 			}
+			g.Connect(ga.e.Dist())
+			pop[slot] = g
 		}
-		g.Connect(ga.e.Dist())
-		pop[slot] = g
 	})
 	return pop
 }
@@ -513,38 +514,45 @@ func (ga *runner) recordLineage(slot int, pop []*graph.Graph, pi int, child *gra
 }
 
 // evaluate computes the cost of every member of pop. With workers it chunks
-// the evaluation order across goroutines; costs land at their population
-// index, so the result is identical to the serial loop. When the evaluator's
-// delta path is on and lineage is valid, slots are visited grouped by parent
-// so that siblings mutated from one parent share a single delta-priming
-// sweep through CostDelta — which returns values bit-identical to Cost, so
-// the grouping changes speed only.
+// the population across goroutines; costs land at their population index,
+// so the result is identical to the serial loop. When the evaluator's delta
+// path is on and lineage is valid, offspring route through CostDelta —
+// which returns values bit-identical to Cost, so the choice changes speed
+// only. Slots are visited in plain index order: the evaluator's multi-base
+// routing cache retains recent parents (elites persist across generations)
+// and picks the nearest one per offspring, which subsumed the old
+// sibling-sorted evaluation order.
 func (ga *runner) evaluate(pop []*graph.Graph) []float64 {
 	costs := make([]float64, len(pop))
 	ga.evals += uint64(len(pop))
-	order, grouped := ga.evalOrder(len(pop))
+	eligible := ga.deltaEligible(len(pop))
 	eval := func(ev *cost.Evaluator, i int) {
-		if grouped != nil && grouped[i] {
-			lin := &ga.lineage[i]
-			costs[i] = ev.CostDelta(lin.parent, pop[i], lin.changed)
-			return
+		if eligible != nil {
+			// Take the delta path when the priming sweep amortizes over
+			// siblings, or for a lone offspring whose lineage parent —
+			// or any other base — is already retained from an earlier
+			// evaluation.
+			if lin := &ga.lineage[i]; lin.parentIdx >= 0 && (eligible[i] || ev.HasBaseNear(pop[i])) {
+				costs[i] = ev.CostDelta(lin.parent, pop[i], lin.changed)
+				return
+			}
 		}
 		costs[i] = ev.Cost(pop[i])
 	}
 	if w := len(ga.workers); w > 1 && len(pop) > 1 {
 		nw := min(w, len(pop))
-		chunk := (len(order) + nw - 1) / nw
+		chunk := (len(pop) + nw - 1) / nw
 		var wg sync.WaitGroup
 		for k := 0; k < nw; k++ {
 			lo := k * chunk
-			hi := min(lo+chunk, len(order))
+			hi := min(lo+chunk, len(pop))
 			if lo >= hi {
 				break
 			}
 			wg.Add(1)
 			go func(ev *cost.Evaluator, lo, hi int) {
 				defer wg.Done()
-				for _, i := range order[lo:hi] {
+				for i := lo; i < hi; i++ {
 					eval(ev, i)
 				}
 			}(ga.workers[k], lo, hi)
@@ -552,28 +560,21 @@ func (ga *runner) evaluate(pop []*graph.Graph) []float64 {
 		wg.Wait()
 		return costs
 	}
-	for _, i := range order {
+	for i := range pop {
 		eval(ga.e, i)
 	}
 	return costs
 }
 
-// evalOrder returns the slot visit order for evaluate and, when lineage is
-// usable, a per-slot flag selecting the delta path. Slots are stably sorted
-// so same-parent siblings are adjacent (lineage-less slots first); only
-// parents with at least two delta-eligible children are grouped — priming a
-// parent's shortest-path state costs a full sweep, so a lone child would
-// make the delta path a pessimization.
-func (ga *runner) evalOrder(m int) ([]int, []bool) {
-	if cap(ga.evalOrd) < m {
-		ga.evalOrd = make([]int, m)
-	}
-	order := ga.evalOrd[:m]
-	for i := range order {
-		order[i] = i
-	}
+// deltaEligible returns a per-slot flag marking offspring whose parent has
+// at least two delta-eligible children this generation — priming a
+// parent's shortest-path state costs a full sweep, so for a lone child the
+// delta path only pays off when a retained base already covers it
+// (evaluate checks HasBaseNear for those). Returns nil when lineage is
+// unusable (initial population, delta path off).
+func (ga *runner) deltaEligible(m int) []bool {
 	if !ga.bred || len(ga.lineage) < m {
-		return order, nil
+		return nil
 	}
 	if cap(ga.groupCount) < m {
 		ga.groupCount = make([]int, m)
@@ -588,32 +589,23 @@ func (ga *runner) evalOrder(m int) ([]int, []bool) {
 			counts[pi]++
 		}
 	}
-	grouped := ga.evalGroup[:m]
-	any := false
+	eligible := ga.evalGroup[:m]
 	for i := 0; i < m; i++ {
 		pi := ga.lineage[i].parentIdx
-		grouped[i] = pi >= 0 && counts[pi] >= 2
-		any = any || grouped[i]
+		eligible[i] = pi >= 0 && counts[pi] >= 2
 	}
-	if !any {
-		return order, nil
-	}
-	key := func(i int) int32 {
-		if grouped[i] {
-			return ga.lineage[i].parentIdx
-		}
-		return -1
-	}
-	sort.SliceStable(order, func(a, b int) bool { return key(order[a]) < key(order[b]) })
-	return order, grouped
+	return eligible
 }
 
 // crossover creates one offspring: tournament-pick b candidates, keep the
 // best a as parents, then copy each potential link from a parent chosen
 // with probability inversely proportional to its cost. The second return is
-// the cheapest tournament parent's population index — the lineage base for
-// delta evaluation (crossover children usually drift past the edge budget,
-// in which case recordLineage drops them).
+// the population index of whichever tournament parent ends up *nearest*
+// the child by edge-set difference — the lineage base for delta evaluation
+// (crossover children often drift past the edge budget, in which case
+// recordLineage drops them; picking the closer parent keeps the ones that
+// inherited most links from a single parent within it). The comparison
+// consumes no randomness, so it cannot change the offspring themselves.
 func (ga *runner) crossover(pop []*graph.Graph, costs []float64, rng *stats.RNG, sc *breedScratch) (*graph.Graph, int) {
 	a, b := ga.s.TournamentA, ga.s.TournamentB
 	if b > len(pop) {
@@ -644,7 +636,13 @@ func (ga *runner) crossover(pop []*graph.Graph, costs []float64, rng *stats.RNG,
 		}
 	}
 	child.Connect(ga.e.Dist())
-	return child, parents[0]
+	best, bestD := parents[0], child.DiffCount(pop[parents[0]])
+	for _, pi := range parents[1:] {
+		if d := child.DiffCount(pop[pi]); d < bestD {
+			best, bestD = pi, d
+		}
+	}
+	return child, best
 }
 
 // mutate creates one offspring by mutating a parent chosen with probability
@@ -794,16 +792,60 @@ func bestIndices(idxs []int, k int) []int {
 	return idxs
 }
 
-// sortByCost sorts pop and costs together, ascending cost. Ties keep a
-// deterministic order via insertion sort's stability on equal keys.
+// sortByCost sorts pop and costs together, ascending cost, equal costs
+// keeping their pre-sort relative order. The exact permutation — ties
+// included — is load-bearing for determinism: tournament selection reads
+// population indices ("lower index = cheaper") and crossover walks the
+// 1/cost weights in sorted order, so any reordering feeds back into the
+// run's randomness. That also rules out replacing this with a true partial
+// top-k selection (leaving slots below the elite cut unordered would
+// change parent draws and break bit-compatibility with recorded runs);
+// the win over the historical O(M²) insertion sort is an O(M log M) index
+// sort keyed by (cost, original index), which reproduces the stable
+// permutation bit for bit.
 func sortByCost(pop []*graph.Graph, costs []float64) {
-	for i := 1; i < len(pop); i++ {
-		g, c := pop[i], costs[i]
-		j := i - 1
-		for j >= 0 && costs[j] > c {
-			pop[j+1], costs[j+1] = pop[j], costs[j]
-			j--
+	m := len(pop)
+	useInsertion := m < 32 // tiny populations: skip the permutation indirection
+	for _, c := range costs {
+		if math.IsNaN(c) {
+			// NaN admits no total order, so the comparator-based sort
+			// could diverge from the historical insertion-sort
+			// permutation. Unreachable with the built-in cost model
+			// (disconnection yields +Inf, never NaN) but a custom
+			// LinkCostFunc could produce it.
+			useInsertion = true
+			break
 		}
-		pop[j+1], costs[j+1] = g, c
 	}
+	if useInsertion {
+		for i := 1; i < m; i++ {
+			g, c := pop[i], costs[i]
+			j := i - 1
+			for j >= 0 && costs[j] > c {
+				pop[j+1], costs[j+1] = pop[j], costs[j]
+				j--
+			}
+			pop[j+1], costs[j+1] = g, c
+		}
+		return
+	}
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		pa, pb := perm[a], perm[b]
+		if costs[pa] != costs[pb] {
+			return costs[pa] < costs[pb]
+		}
+		return pa < pb
+	})
+	popOut := make([]*graph.Graph, m)
+	costOut := make([]float64, m)
+	for i, pi := range perm {
+		popOut[i] = pop[pi]
+		costOut[i] = costs[pi]
+	}
+	copy(pop, popOut)
+	copy(costs, costOut)
 }

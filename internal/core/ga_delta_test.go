@@ -7,6 +7,7 @@ package core
 // single bit when the feature toggles, at any parallelism.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -59,8 +60,11 @@ func sameResult(t *testing.T, label string, a, b *Result) {
 }
 
 // TestRunDeltaOnOffBitIdentical: a full GA run with the incremental path
-// forced on equals the forced-off run bit for bit, serial and parallel, for
-// both Dijkstra kernels and across params with and without hub costs.
+// forced on equals the forced-off run bit for bit, serial and parallel,
+// for both Dijkstra kernels, across params with and without hub costs, and
+// for every multi-base cache size in {1, 4, 16} (1 reproduces the old
+// single-base behavior, 16 exceeds the GA's per-generation parent count so
+// nothing is ever evicted).
 func TestRunDeltaOnOffBitIdentical(t *testing.T) {
 	s := smallSettings()
 	s.TrackHistory = true
@@ -68,27 +72,61 @@ func TestRunDeltaOnOffBitIdentical(t *testing.T) {
 		{K0: 10, K1: 1, K2: 3e-4, K3: 0},
 		{K0: 10, K1: 1, K2: 1e-3, K3: 25},
 	}
-	for pi, p := range params {
+	for _, p := range params {
 		for _, heap := range []cost.Switch{cost.ForceOff, cost.ForceOn} {
 			off, err := Run(ctxOptions(t, 16, p, 41, cost.Options{Heap: heap, Delta: cost.ForceOff}), s, 99)
 			if err != nil {
 				t.Fatal(err)
 			}
-			on, err := Run(ctxOptions(t, 16, p, 41, cost.Options{Heap: heap, Delta: cost.ForceOn}), s, 99)
-			if err != nil {
-				t.Fatal(err)
-			}
-			sameResult(t, "delta on vs off (serial)", on, off)
+			for _, maxBases := range []int{1, 4, 16} {
+				opts := cost.Options{Heap: heap, Delta: cost.ForceOn, MaxBases: maxBases}
+				on, err := Run(ctxOptions(t, 16, p, 41, opts), s, 99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("delta on (heap=%v, maxBases=%d) vs off (serial)", heap, maxBases)
+				sameResult(t, label, on, off)
 
-			sp := s
-			sp.Parallelism = 3
-			onPar, err := Run(ctxOptions(t, 16, p, 41, cost.Options{Heap: heap, Delta: cost.ForceOn}), sp, 99)
-			if err != nil {
-				t.Fatal(err)
+				sp := s
+				sp.Parallelism = 3
+				onPar, err := Run(ctxOptions(t, 16, p, 41, opts), sp, 99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, label+" parallel", onPar, off)
 			}
-			sameResult(t, "delta on parallel vs off serial", onPar, off)
-			_ = pi
 		}
+	}
+}
+
+// BenchmarkRun times full GA runs at a delta-relevant scale (n = 64, so
+// both Auto features are live). The sub-benchmarks compare the incremental
+// path off, the single-base behavior of earlier releases (maxBases1) and
+// the multi-base default (maxBases4) — identical results, different speed.
+func BenchmarkRun(b *testing.B) {
+	cases := []struct {
+		name string
+		opts cost.Options
+	}{
+		{"deltaOff", cost.Options{Delta: cost.ForceOff}},
+		{"maxBases1", cost.Options{Delta: cost.ForceOn, MaxBases: 1}},
+		{"maxBases4", cost.Options{Delta: cost.ForceOn, MaxBases: 4}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			s := DefaultSettings()
+			s.PopulationSize = 40
+			s.Generations = 20
+			s.NumSaved = 4
+			s.NumMutation = 12
+			e := ctxOptions(b, 64, cost.Params{K0: 10, K1: 1, K2: 3e-4, K3: 0}, 3, tc.opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(e, s, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

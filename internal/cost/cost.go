@@ -143,6 +143,13 @@ type Evaluator struct {
 	useHeap     bool
 	deltaOn     bool
 	deltaBudget int
+	maxBases    int
+
+	// dflat is the traffic matrix flattened to n² (dflat[s*n+d] ==
+	// tm.Demand[s][d]), built once and shared (immutably) with Clones so
+	// pushLoads can bulk-copy a source's demand row without pointer
+	// chasing.
+	dflat []float64
 
 	// Dijkstra scratch.
 	dj struct {
@@ -152,14 +159,24 @@ type Evaluator struct {
 		order    []int32
 		acc      []float64
 		load     []float64 // n×n flattened link loads
-		hnodes   []int32   // heap kernel: node storage
-		hpos     []int32   // heap kernel: position index
-		affected []bool    // delta path: per-source recompute marks
+		hnodes   []int32      // heap kernel: node storage
+		hpos     []int32      // heap kernel: position index
+		affected []bool       // delta path: per-source recompute marks
+		diff     []graph.Edge // delta path: edge-diff scratch
 	}
 
-	// delta is the retained base state of the incremental path (see
+	// delta is the retained base cache of the incremental path (see
 	// delta.go). Per-Evaluator, never shared across Clones.
 	delta deltaState
+
+	// Adaptive prime-on-miss policy state (delta.go): in-budget delta
+	// attempts and how many ran incrementally. When declines dominate,
+	// CostDelta stops spending priming sweeps on base misses. Per-Evaluator
+	// like the base cache (so no synchronization), and deliberately separate
+	// from the telemetry counters, which stay purely passive. Both candidate
+	// paths are bit-identical, so the policy can never change results.
+	deltaTried uint64
+	deltaWon   uint64
 
 	// Memoized costs keyed by graph hash, verified against a stored clone
 	// to rule out collisions. Shared (and safe to share) across Clones.
@@ -203,6 +220,10 @@ func NewEvaluatorOptions(dist [][]float64, tm *traffic.Matrix, params Params, op
 		return nil, err
 	}
 	e := &Evaluator{dist: dist, tm: tm, params: params, n: n, cache: newSharedCache(DefaultCacheLimit), counters: &evalCounters{}}
+	e.dflat = make([]float64, n*n)
+	for s := 0; s < n; s++ {
+		copy(e.dflat[s*n:(s+1)*n], tm.Demand[s])
+	}
 	e.setOptions(opts)
 	e.initScratch()
 	return e, nil
@@ -214,6 +235,7 @@ func (e *Evaluator) setOptions(opts Options) {
 	e.useHeap = opts.Heap.enabled(e.n, opts.heapThreshold())
 	e.deltaOn = opts.Delta.enabled(e.n, opts.deltaThreshold())
 	e.deltaBudget = opts.deltaEdgeBudget()
+	e.maxBases = opts.maxBases()
 }
 
 func (e *Evaluator) initScratch() {
@@ -242,7 +264,7 @@ func (e *Evaluator) initScratch() {
 // its own Evaluator.
 func (e *Evaluator) Clone() *Evaluator {
 	c := &Evaluator{dist: e.dist, tm: e.tm, params: e.params, linkCost: e.linkCost, n: e.n,
-		cache: e.cache, counters: e.counters, durHist: e.durHist}
+		dflat: e.dflat, cache: e.cache, counters: e.counters, durHist: e.durHist}
 	c.setOptions(e.opts)
 	c.initScratch()
 	return c
@@ -473,16 +495,16 @@ func (e *Evaluator) routeAndLoad(g *graph.Graph, rt *Routing, record bool) bool 
 // The full sweep and the delta path both accumulate through this helper in
 // ascending source order, which keeps their floating-point sums
 // bit-identical.
+//
+// The accumulator is seeded from the flattened demand matrix with one
+// bulk copy + clear instead of a branch-per-node loop; the backward tree
+// walk itself is inherently sequential (each node's total feeds its
+// parent's) and indexes flat slices only.
 func (e *Evaluator) pushLoads(s int, parent, order []int32) {
 	n := e.n
-	load, acc, demand := e.dj.load, e.dj.acc, e.tm.Demand
-	for v := 0; v < n; v++ {
-		if v > s {
-			acc[v] = demand[s][v]
-		} else {
-			acc[v] = 0
-		}
-	}
+	load, acc := e.dj.load, e.dj.acc
+	copy(acc[s+1:n], e.dflat[s*n+s+1:(s+1)*n])
+	clear(acc[:s+1])
 	for k := n - 1; k >= 1; k-- {
 		v := int(order[k])
 		if acc[v] == 0 {

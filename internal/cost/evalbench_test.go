@@ -78,4 +78,56 @@ func BenchmarkEvaluateDelta(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateDeltaCrossover measures CostDelta on crossover-shaped
+// traffic: children alternate between two parents more than twice the edge
+// budget apart, so with one retained base every parent switch forces a
+// priming sweep (the pre-PR behavior) while the multi-base cache keeps
+// both parents primed. Compare maxBases1 vs maxBases4 for the before/after.
+func BenchmarkEvaluateDeltaCrossover(b *testing.B) {
+	for _, maxBases := range []int{1, 4} {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("maxBases%d/%s", maxBases, sizeName(n)), func(b *testing.B) {
+				e := optionsContext(b, n, 1, Options{Delta: ForceOn, MaxBases: maxBases})
+				pa := benchGraph(e, n)
+				rng := rand.New(rand.NewSource(9))
+				pb := pa.Clone()
+				for pb.DiffCount(pa) <= 2*e.DeltaEdgeBudget()+1 {
+					i, j := rng.Intn(n), rng.Intn(n)
+					if i != j {
+						pb.SetEdge(i, j, !pb.HasEdge(i, j))
+					}
+					pb.Connect(e.Dist())
+				}
+				const kids = 16
+				parents := make([]*graph.Graph, kids)
+				children := make([]*graph.Graph, kids)
+				diffs := make([][]graph.Edge, kids)
+				for k := range children {
+					parent := pa
+					if k%2 == 1 {
+						parent = pb
+					}
+					child := parent.Clone()
+					i, j := rng.Intn(n), rng.Intn(n)
+					for i == j {
+						j = rng.Intn(n)
+					}
+					child.SetEdge(i, j, !child.HasEdge(i, j))
+					child.Connect(e.Dist())
+					parents[k] = parent
+					children[k] = child
+					diffs[k] = parent.Diff(child, nil)
+				}
+				e.CostDelta(pa, children[0], diffs[0]) // prime pa outside the timer
+				e.CostDelta(pb, children[1], diffs[1]) // prime pb outside the timer
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k := i % kids
+					e.CostDelta(parents[k], children[k], diffs[k])
+				}
+			})
+		}
+	}
+}
+
 func sizeName(n int) string { return fmt.Sprintf("n%d", n) }

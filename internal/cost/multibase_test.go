@@ -1,0 +1,200 @@
+package cost
+
+// Tests for the multi-base routing-table cache (delta.go): values must be
+// bit-identical to full evaluations for every MaxBases setting, the
+// nearest retained base must actually be chosen (counted as a hit, no
+// re-priming), and LRU eviction must degrade to correct-but-slower
+// behavior, never to wrong answers.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/networksynth/cold/internal/graph"
+)
+
+// twoParents builds two connected graphs more than twice the delta edge
+// budget apart on ev's context. DiffCount is a metric (symmetric-
+// difference size), so by the triangle inequality an in-budget child of
+// one parent can never be within budget of the other — each parent's
+// children must hit its own base.
+func twoParents(t *testing.T, ev *Evaluator, seed int64) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := ev.N()
+	a := randomConnected(rng, n, 3.0/float64(n), ev.Dist())
+	b := a.Clone()
+	for i := 0; b.DiffCount(a) <= 2*ev.DeltaEdgeBudget()+1; i++ {
+		if i > 500 {
+			t.Fatal("parents failed to diverge")
+		}
+		b, _ = gaEdit(rng, b, ev.Dist(), 2, true)
+	}
+	return a, b
+}
+
+// TestMultiBaseCrossoverShape: with two parents primed as bases, children
+// of either parent evaluate incrementally against their own parent — no
+// re-priming ping-pong — and every value matches a fresh full evaluation.
+func TestMultiBaseCrossoverShape(t *testing.T) {
+	for _, maxBases := range []int{1, 2, 4, 16} {
+		const n = 24
+		ev := optionsContext(t, n, 3, Options{Delta: ForceOn, MaxBases: maxBases})
+		ref := optionsContext(t, n, 3, Options{Delta: ForceOff})
+		pa, pb := twoParents(t, ev, 11)
+		rng := rand.New(rand.NewSource(17))
+
+		// Interleave children of the two parents, as crossover offspring
+		// near either parent would arrive from the GA.
+		for round := 0; round < 12; round++ {
+			parent := pa
+			if round%2 == 1 {
+				parent = pb
+			}
+			child, changed := gaEdit(rng, parent, ev.Dist(), round%3, true)
+			if len(changed) == 0 || len(changed) > ev.DeltaEdgeBudget() {
+				continue
+			}
+			got, want := ev.CostDelta(parent, child, changed), ref.Cost(child)
+			if got != want {
+				t.Fatalf("maxBases=%d round %d: CostDelta %v != Cost %v", maxBases, round, got, want)
+			}
+		}
+
+		st := ev.Stats()
+		if st.MaxBases != maxBases {
+			t.Fatalf("Stats.MaxBases = %d, want %d", st.MaxBases, maxBases)
+		}
+		if maxBases >= 2 {
+			// Both parents fit in the cache: after the two priming
+			// sweeps, every later child is a base-cache hit and nothing
+			// is evicted.
+			if st.BaseMisses != 2 {
+				t.Errorf("maxBases=%d: %d base misses, want exactly 2 (one prime per parent)", maxBases, st.BaseMisses)
+			}
+			if st.BaseEvictions != 0 {
+				t.Errorf("maxBases=%d: %d evictions, want 0", maxBases, st.BaseEvictions)
+			}
+			if st.BaseHits == 0 {
+				t.Errorf("maxBases=%d: no base hits", maxBases)
+			}
+		} else if st.BaseMisses < 3 {
+			// A single slot must thrash between the alternating parents.
+			t.Errorf("maxBases=1: %d base misses, want ping-pong re-priming", st.BaseMisses)
+		}
+		var distTotal uint64
+		for _, c := range st.BaseDistance {
+			distTotal += c
+		}
+		if distTotal != st.DeltaEvals+st.Fallbacks.Affected+st.Fallbacks.Disconnected {
+			t.Errorf("maxBases=%d: distance histogram total %d does not cover the %d delta attempts",
+				maxBases, distTotal, st.DeltaEvals+st.Fallbacks.Affected+st.Fallbacks.Disconnected)
+		}
+	}
+}
+
+// TestMultiBaseEviction: more distinct parents than cache slots forces LRU
+// evictions; values stay bit-identical throughout.
+func TestMultiBaseEviction(t *testing.T) {
+	const n = 20
+	ev := optionsContext(t, n, 5, Options{Delta: ForceOn, MaxBases: 2})
+	ref := optionsContext(t, n, 5, Options{Delta: ForceOff})
+	rng := rand.New(rand.NewSource(23))
+
+	parents := make([]*graph.Graph, 5)
+	parents[0] = randomConnected(rng, n, 3.0/float64(n), ev.Dist())
+	for i := 1; i < len(parents); i++ {
+		p := parents[i-1].Clone()
+		for k := 0; k < ev.DeltaEdgeBudget()+2; k++ { // keep parents out of budget of each other
+			p, _ = gaEdit(rng, p, ev.Dist(), 2, true)
+		}
+		parents[i] = p
+	}
+	for _, parent := range parents {
+		for c := 0; c < 3; c++ {
+			child, changed := gaEdit(rng, parent, ev.Dist(), 2, true)
+			if len(changed) == 0 || len(changed) > ev.DeltaEdgeBudget() {
+				continue
+			}
+			if got, want := ev.CostDelta(parent, child, changed), ref.Cost(child); got != want {
+				t.Fatalf("CostDelta %v != Cost %v", got, want)
+			}
+		}
+	}
+	if st := ev.Stats(); st.BaseEvictions == 0 {
+		t.Errorf("5 parents through a 2-slot cache produced no evictions: %+v", st)
+	}
+}
+
+// TestHasBaseNear: reports false before priming, true for graphs within
+// the edge budget of a retained base, false past the budget, and false
+// when the delta path is off.
+func TestHasBaseNear(t *testing.T) {
+	const n = 18
+	ev := optionsContext(t, n, 7, Options{Delta: ForceOn})
+	rng := rand.New(rand.NewSource(29))
+	base := randomConnected(rng, n, 3.0/float64(n), ev.Dist())
+	if ev.HasBaseNear(base) {
+		t.Fatal("HasBaseNear true before any base was recorded")
+	}
+	if !ev.Evaluate(base).Connected {
+		t.Fatal("base disconnected")
+	}
+	if !ev.HasBaseNear(base) {
+		t.Fatal("HasBaseNear false for the just-evaluated base")
+	}
+	near, _ := gaEdit(rng, base, ev.Dist(), 2, true)
+	if d := base.DiffCount(near); d > 0 && d <= ev.DeltaEdgeBudget() && !ev.HasBaseNear(near) {
+		t.Fatal("HasBaseNear false for an in-budget child")
+	}
+	far := base.Clone()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			far.SetEdge(i, j, !far.HasEdge(i, j))
+		}
+	}
+	if ev.HasBaseNear(far) {
+		t.Fatal("HasBaseNear true for the complemented graph")
+	}
+	off := optionsContext(t, n, 7, Options{Delta: ForceOff})
+	off.Evaluate(base)
+	if off.HasBaseNear(base) {
+		t.Fatal("HasBaseNear true with the delta path off")
+	}
+}
+
+// TestEvaluateDeltaPrefersNearestBase: with two bases retained, a walk
+// stepping from the *second* base must re-route from it rather than the
+// more recent one, and the advanced entry must keep matching full
+// evaluations as the walk continues.
+func TestEvaluateDeltaPrefersNearestBase(t *testing.T) {
+	const n = 22
+	ev := optionsContext(t, n, 13, Options{Delta: ForceOn, MaxBases: 4})
+	ref := optionsContext(t, n, 13, Options{Delta: ForceOff})
+	pa, pb := twoParents(t, ev, 31)
+	if !ev.Evaluate(pa).Connected || !ev.Evaluate(pb).Connected {
+		t.Fatal("parents disconnected")
+	}
+	// Walk from pa — the older base — with single-link toggles. The
+	// current graph is always retained (either by a successful advance or
+	// by the fallback Evaluate recording it), so every in-budget step
+	// finds a retained base: no misses, ever.
+	rng := rand.New(rand.NewSource(37))
+	cur := pa
+	steps := 0
+	for step := 0; step < 8; step++ {
+		child, changed := gaEdit(rng, cur, ev.Dist(), 2, true)
+		if len(changed) == 0 || len(changed) > ev.DeltaEdgeBudget() {
+			continue
+		}
+		sameEvaluation(t, "nearest-base walk", ev.EvaluateDelta(child, changed), ref.Evaluate(child))
+		cur = child
+		steps++
+	}
+	if steps == 0 {
+		t.Fatal("walk made no usable steps")
+	}
+	if st := ev.Stats(); st.BaseMisses != 0 {
+		t.Errorf("walk near retained bases recorded %d base misses, want 0", st.BaseMisses)
+	}
+}

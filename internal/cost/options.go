@@ -47,6 +47,12 @@ const (
 	// EvaluateDelta attempt incrementally; larger edits (e.g. crossover
 	// offspring far from both parents) go straight to the full sweep.
 	DefaultDeltaEdgeBudget = 8
+
+	// DefaultMaxBases is how many routing-table bases the delta path
+	// retains (see Options.MaxBases). Four covers the GA's working set —
+	// the elite parents that keep producing offspring generation after
+	// generation — without the memory growing past a few full tables.
+	DefaultMaxBases = 4
 )
 
 // Options tune how the Evaluator routes and evaluates. The zero value is
@@ -77,6 +83,17 @@ type Options struct {
 	// DeltaEdgeBudget bounds how many changed edges the delta path accepts
 	// before falling back to a full sweep; 0 means DefaultDeltaEdgeBudget.
 	DeltaEdgeBudget int
+
+	// MaxBases bounds how many routing-table bases the delta path retains
+	// (least-recently-used eviction). Each base holds the full per-source
+	// distance/parent/order tables of one graph (~16·n² bytes), and
+	// CostDelta/EvaluateDelta pick whichever retained base is nearest the
+	// requested graph by edge-set difference — so crossover offspring can
+	// delta against either parent and elite parents stay primed across
+	// generations. 0 means DefaultMaxBases; 1 reproduces the single-base
+	// behavior of earlier releases. Like every option, the setting changes
+	// speed and memory only, never results.
+	MaxBases int
 }
 
 // Validate rejects unknown switch states and negative thresholds.
@@ -92,7 +109,7 @@ func (o Options) Validate() error {
 	for _, v := range []struct {
 		name string
 		val  int
-	}{{"HeapThreshold", o.HeapThreshold}, {"DeltaThreshold", o.DeltaThreshold}, {"DeltaEdgeBudget", o.DeltaEdgeBudget}} {
+	}{{"HeapThreshold", o.HeapThreshold}, {"DeltaThreshold", o.DeltaThreshold}, {"DeltaEdgeBudget", o.DeltaEdgeBudget}, {"MaxBases", o.MaxBases}} {
 		if v.val < 0 {
 			return fmt.Errorf("cost: options: negative %s %d", v.name, v.val)
 		}
@@ -122,6 +139,14 @@ func (o Options) deltaEdgeBudget() int {
 		return o.DeltaEdgeBudget
 	}
 	return DefaultDeltaEdgeBudget
+}
+
+// maxBases resolves the retained-base cap.
+func (o Options) maxBases() int {
+	if o.MaxBases > 0 {
+		return o.MaxBases
+	}
+	return DefaultMaxBases
 }
 
 // enabled resolves a switch against the Auto rule "on when n >= threshold".

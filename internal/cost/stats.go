@@ -29,6 +29,10 @@ const (
 	// FallbackReconcile: the caller's changed-edge list did not reconcile
 	// with the actual diff between base and child.
 	FallbackReconcile
+	// FallbackPolicy: the adaptive prime-on-miss policy declined to spend a
+	// priming sweep because incremental attempts rarely succeed on this
+	// workload; the request ran one plain full sweep instead.
+	FallbackPolicy
 	// FallbackAffected: the edit touched too many sources (more than half),
 	// so the full sweep was cheaper.
 	FallbackAffected
@@ -50,6 +54,8 @@ func (r FallbackReason) String() string {
 		return "base"
 	case FallbackReconcile:
 		return "reconcile"
+	case FallbackPolicy:
+		return "policy"
 	case FallbackAffected:
 		return "affected"
 	case FallbackDisconnected:
@@ -59,6 +65,12 @@ func (r FallbackReason) String() string {
 	}
 }
 
+// BaseDistBuckets is the size of the nearest-base distance histogram in
+// Stats.BaseDistance: bucket d counts delta evaluations whose chosen base
+// differed from the evaluated graph by exactly d edges, with the last
+// bucket absorbing every larger distance.
+const BaseDistBuckets = 17
+
 // evalCounters are the always-on evaluator counters, shared across an
 // Evaluator and all its Clones (one atomic add per event; negligible next
 // to the sweeps they count).
@@ -66,6 +78,14 @@ type evalCounters struct {
 	fullSweeps telemetry.Counter // all-sources Dijkstra sweeps, incl. delta priming
 	deltaEvals telemetry.Counter // successful incremental evaluations
 	fallbacks  [numFallbackReasons]telemetry.Counter
+
+	// Multi-base routing-table cache (delta.go): a hit means a delta
+	// request found a retained base within the edge budget; a miss means
+	// none was close enough (CostDelta then primes the caller's base).
+	baseHits      telemetry.Counter
+	baseMisses    telemetry.Counter
+	baseEvictions telemetry.Counter // bases dropped by LRU capacity
+	baseDist      [BaseDistBuckets]telemetry.Counter
 }
 
 // FallbackCounts breaks down delta-path fallbacks by reason.
@@ -74,19 +94,20 @@ type FallbackCounts struct {
 	Budget       uint64
 	Base         uint64
 	Reconcile    uint64
+	Policy       uint64
 	Affected     uint64
 	Disconnected uint64
 }
 
 // Total sums all fallback reasons.
 func (f FallbackCounts) Total() uint64 {
-	return f.Disabled + f.Budget + f.Base + f.Reconcile + f.Affected + f.Disconnected
+	return f.Disabled + f.Budget + f.Base + f.Reconcile + f.Policy + f.Affected + f.Disconnected
 }
 
 // Map returns the counts keyed by FallbackReason.String(), omitting zero
 // entries — the shape used in JSONL run_end events.
 func (f FallbackCounts) Map() map[string]uint64 {
-	m := make(map[string]uint64, 6)
+	m := make(map[string]uint64, 7)
 	for _, e := range []struct {
 		r FallbackReason
 		v uint64
@@ -95,6 +116,7 @@ func (f FallbackCounts) Map() map[string]uint64 {
 		{FallbackBudget, f.Budget},
 		{FallbackBase, f.Base},
 		{FallbackReconcile, f.Reconcile},
+		{FallbackPolicy, f.Policy},
 		{FallbackAffected, f.Affected},
 		{FallbackDisconnected, f.Disconnected},
 	} {
@@ -123,6 +145,20 @@ type Stats struct {
 	// Fallbacks counts delta-path requests that ran a full sweep instead,
 	// by reason.
 	Fallbacks FallbackCounts
+	// BaseHits counts delta requests served from a retained base of the
+	// multi-base routing-table cache without a priming sweep; BaseMisses
+	// counts requests where no retained base was within the edge budget;
+	// BaseEvictions counts bases dropped by LRU capacity (Options.MaxBases).
+	BaseHits      uint64
+	BaseMisses    uint64
+	BaseEvictions uint64
+	// BaseDistance is a histogram of the edge-set distance between each
+	// delta evaluation and its chosen base: BaseDistance[d] counts
+	// evaluations at distance exactly d, the last bucket absorbing larger
+	// distances. Always BaseDistBuckets long.
+	BaseDistance []uint64
+	// MaxBases is the resolved retained-base cap of this evaluator.
+	MaxBases int
 	// Kernel is the Dijkstra kernel this evaluator resolved to: "heap" or
 	// "linear".
 	Kernel string
@@ -135,16 +171,26 @@ func (e *Evaluator) Stats() Stats {
 	if e.useHeap {
 		kernel = "heap"
 	}
+	dist := make([]uint64, BaseDistBuckets)
+	for i := range dist {
+		dist[i] = e.counters.baseDist[i].Load()
+	}
 	return Stats{
-		CacheHits:   hits,
-		CacheMisses: misses,
-		FullSweeps:  e.counters.fullSweeps.Load(),
-		DeltaEvals:  e.counters.deltaEvals.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		FullSweeps:    e.counters.fullSweeps.Load(),
+		DeltaEvals:    e.counters.deltaEvals.Load(),
+		BaseHits:      e.counters.baseHits.Load(),
+		BaseMisses:    e.counters.baseMisses.Load(),
+		BaseEvictions: e.counters.baseEvictions.Load(),
+		BaseDistance:  dist,
+		MaxBases:      e.maxBases,
 		Fallbacks: FallbackCounts{
 			Disabled:     e.counters.fallbacks[FallbackDisabled].Load(),
 			Budget:       e.counters.fallbacks[FallbackBudget].Load(),
 			Base:         e.counters.fallbacks[FallbackBase].Load(),
 			Reconcile:    e.counters.fallbacks[FallbackReconcile].Load(),
+			Policy:       e.counters.fallbacks[FallbackPolicy].Load(),
 			Affected:     e.counters.fallbacks[FallbackAffected].Load(),
 			Disconnected: e.counters.fallbacks[FallbackDisconnected].Load(),
 		},
@@ -154,6 +200,15 @@ func (e *Evaluator) Stats() Stats {
 
 // fallback counts one delta-path fallback.
 func (e *Evaluator) fallback(r FallbackReason) { e.counters.fallbacks[r].Inc() }
+
+// observeBaseDist records the edge-set distance between a delta evaluation
+// and its chosen base in the nearest-base distance histogram.
+func (e *Evaluator) observeBaseDist(d int) {
+	if d >= BaseDistBuckets {
+		d = BaseDistBuckets - 1
+	}
+	e.counters.baseDist[d].Inc()
+}
 
 // SetDurationHistogram attaches a histogram observing the wall time (in
 // nanoseconds) of every real evaluation: full sweeps, incremental

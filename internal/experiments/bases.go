@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/networksynth/cold/internal/core"
+	"github.com/networksynth/cold/internal/cost"
+	"github.com/networksynth/cold/internal/geom"
+	"github.com/networksynth/cold/internal/traffic"
+)
+
+// Bases measures the multi-base routing-table cache behind
+// cost.Options.MaxBases: the same GA run with the incremental path off,
+// with one retained base (the single-base behavior of earlier releases)
+// and with multi-base caches. All runs are bit-identical in output — the
+// core package's delta on/off identity test proves it, and this harness
+// re-checks the best cost — so the table is about speed and cache
+// behavior: hits avoid priming sweeps, misses pay one, and evictions show
+// the LRU cap binding when a generation carries more parents than slots.
+func Bases(o Options) *Table {
+	o = o.normalize()
+	cases := []struct {
+		name string
+		opts cost.Options
+	}{
+		{"off", cost.Options{Delta: cost.ForceOff}},
+		{"1", cost.Options{Delta: cost.ForceOn, MaxBases: 1}},
+		{"4", cost.Options{Delta: cost.ForceOn, MaxBases: 4}},
+		{"16", cost.Options{Delta: cost.ForceOn, MaxBases: 16}},
+	}
+	t := &Table{
+		Title: fmt.Sprintf("multi-base delta cache: one GA run per MaxBases (n=%d, M=%d, T=%d)",
+			o.N, o.GAPop, o.GAGens),
+		Notes: []string{
+			"identical results at every setting; hits reuse a retained base, misses pay a priming sweep",
+		},
+		Columns: []string{"bases", "seconds", "speedup", "hits", "misses", "evictions", "delta evals", "full sweeps"},
+	}
+	params := cost.Params{K0: 10, K1: 1, K2: 3e-4, K3: 0}
+	var baseSecs, refCost float64
+	for i, tc := range cases {
+		rng := rand.New(rand.NewSource(o.Seed))
+		pts := geom.NewUniform().Sample(o.N, rng)
+		pops := traffic.NewExponential().Sample(o.N, rng)
+		e, err := cost.NewEvaluatorOptions(geom.DistanceMatrix(pts), traffic.Gravity(pops, traffic.DefaultGravityScale), params, tc.opts)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: internal context error: %v", err))
+		}
+		start := time.Now()
+		res, err := core.Run(e, gaSettings(o), rng.Uint64())
+		if err != nil {
+			panic(fmt.Sprintf("experiments: GA error: %v", err))
+		}
+		secs := time.Since(start).Seconds()
+		if i == 0 {
+			baseSecs, refCost = secs, res.BestCost
+		} else if res.BestCost != refCost {
+			panic(fmt.Sprintf("experiments: bases: MaxBases=%s diverged from delta-off (cost %v vs %v)",
+				tc.name, res.BestCost, refCost))
+		}
+		st := e.Stats()
+		t.Rows = append(t.Rows, []string{
+			tc.name,
+			fmt.Sprintf("%.2f", secs),
+			fmt.Sprintf("%.2fx", baseSecs/secs),
+			fmt.Sprintf("%d", st.BaseHits),
+			fmt.Sprintf("%d", st.BaseMisses),
+			fmt.Sprintf("%d", st.BaseEvictions),
+			fmt.Sprintf("%d", st.DeltaEvals),
+			fmt.Sprintf("%d", st.FullSweeps),
+		})
+	}
+	return t
+}

@@ -1,0 +1,125 @@
+package metrics
+
+// Closed-form checks: betweenness, clustering and assortativity on graph
+// families where the exact value is known analytically. These pin the
+// conventions the implementations promise — each unordered pair counted
+// once, endpoints excluded from their own node centrality, split shortest
+// paths weighted 1/σ — at every size, not just the spot values the basic
+// tests cover.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/networksynth/cold/internal/graph"
+)
+
+// TestNodeBetweennessClosedForm:
+//   - path P_n: bc[v] = v·(n−1−v) — pairs strictly astride v;
+//   - star S_n: hub C(n−1,2), leaves 0;
+//   - odd cycle C_{2k+1}: all shortest paths unique, bc = k(k−1)/2;
+//   - even cycle C_{2k}: antipodal pairs split two ways, bc = (k−1)²/2.
+func TestNodeBetweennessClosedForm(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 13} {
+		bc := NodeBetweenness(path(t, n))
+		for v := 0; v < n; v++ {
+			if want := float64(v * (n - 1 - v)); math.Abs(bc[v]-want) > 1e-9 {
+				t.Errorf("P%d node %d bc = %v, want %v", n, v, bc[v], want)
+			}
+		}
+	}
+	for _, n := range []int{3, 6, 10} {
+		bc := NodeBetweenness(star(t, n))
+		if want := float64((n - 1) * (n - 2) / 2); math.Abs(bc[0]-want) > 1e-9 {
+			t.Errorf("S%d hub bc = %v, want %v", n, bc[0], want)
+		}
+	}
+	for _, k := range []int{2, 3, 4, 5} {
+		odd, even := 2*k+1, 2*k
+		for v, b := range NodeBetweenness(ring(t, odd)) {
+			if want := float64(k*(k-1)) / 2; math.Abs(b-want) > 1e-9 {
+				t.Errorf("C%d node %d bc = %v, want %v", odd, v, b, want)
+			}
+		}
+		for v, b := range NodeBetweenness(ring(t, even)) {
+			if want := float64((k-1)*(k-1)) / 2; math.Abs(b-want) > 1e-9 {
+				t.Errorf("C%d node %d bc = %v, want %v", even, v, b, want)
+			}
+		}
+	}
+}
+
+// TestEdgeBetweennessClosedForm:
+//   - path P_n: edge (i, i+1) carries the (i+1)·(n−1−i) pairs it separates;
+//   - star S_n: every spoke carries its own pair plus one per other leaf;
+//   - odd cycle C_{2k+1}: k(k+1)/2 per edge; even C_{2k}: k²/2 per edge
+//     (Σ edge betweenness = Σ pair distances, uniform by symmetry).
+func TestEdgeBetweennessClosedForm(t *testing.T) {
+	for _, n := range []int{2, 4, 7, 11} {
+		g := path(t, n)
+		eb := EdgeBetweenness(g)
+		for i, e := range g.Edges() {
+			if want := float64((e.I + 1) * (n - 1 - e.I)); math.Abs(eb[i]-want) > 1e-9 {
+				t.Errorf("P%d edge %v bc = %v, want %v", n, e, eb[i], want)
+			}
+		}
+	}
+	for _, n := range []int{3, 6, 10} {
+		for i, b := range EdgeBetweenness(star(t, n)) {
+			if want := float64(n - 1); math.Abs(b-want) > 1e-9 {
+				t.Errorf("S%d edge %d bc = %v, want %v", n, i, b, want)
+			}
+		}
+	}
+	for _, k := range []int{2, 3, 4, 5} {
+		odd, even := 2*k+1, 2*k
+		for i, b := range EdgeBetweenness(ring(t, odd)) {
+			if want := float64(k*(k+1)) / 2; math.Abs(b-want) > 1e-9 {
+				t.Errorf("C%d edge %d bc = %v, want %v", odd, i, b, want)
+			}
+		}
+		for i, b := range EdgeBetweenness(ring(t, even)) {
+			if want := float64(k*k) / 2; math.Abs(b-want) > 1e-9 {
+				t.Errorf("C%d edge %d bc = %v, want %v", even, i, b, want)
+			}
+		}
+	}
+}
+
+// TestClusteringAssortativityTable pins exact values per family. Paths
+// have r = −1/(n−2) (the two end edges are the only degree heterogeneity),
+// stars are maximally disassortative (r = −1), and regular graphs (cycles,
+// complete graphs) have zero degree variance, so r is undefined (NaN).
+func TestClusteringAssortativityTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		g          *graph.Graph
+		clustering float64
+		assort     float64 // NaN means "must be NaN"
+	}{
+		{"P4", path(t, 4), 0, -0.5},
+		{"P6", path(t, 6), 0, -0.25},
+		{"P10", path(t, 10), 0, -0.125},
+		{"C3", ring(t, 3), 1, math.NaN()},
+		{"C4", ring(t, 4), 0, math.NaN()},
+		{"C5", ring(t, 5), 0, math.NaN()},
+		{"K5", graph.Complete(5), 1, math.NaN()},
+		{"K7", graph.Complete(7), 1, math.NaN()},
+		{"S4", star(t, 4), 0, -1},
+		{"S8", star(t, 8), 0, -1},
+	}
+	for _, tc := range cases {
+		if c := GlobalClustering(tc.g); math.Abs(c-tc.clustering) > 1e-12 {
+			t.Errorf("%s clustering = %v, want %v", tc.name, c, tc.clustering)
+		}
+		r := Assortativity(tc.g)
+		switch {
+		case math.IsNaN(tc.assort):
+			if !math.IsNaN(r) {
+				t.Errorf("%s assortativity = %v, want NaN (regular graph)", tc.name, r)
+			}
+		case math.Abs(r-tc.assort) > 1e-9:
+			t.Errorf("%s assortativity = %v, want %v", tc.name, r, tc.assort)
+		}
+	}
+}

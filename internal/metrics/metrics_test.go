@@ -157,10 +157,9 @@ func TestSMetric(t *testing.T) {
 }
 
 func TestAssortativity(t *testing.T) {
-	// Stars are maximally disassortative: r = -1 for double star, for
-	// single star r is NaN (all edges identical degrees product) — verify
-	// a known case instead: path on 4 nodes.
-	// Degrees 1,2,2,1; edges (1,2),(2,2),(2,1).
+	// Path on 4 nodes: degrees 1,2,2,1; edges (1,2),(2,2),(2,1) → r < 0.
+	// (Exact family values, including stars at r = -1, are pinned in
+	// TestClusteringAssortativityTable.)
 	r := Assortativity(path(t, 4))
 	if math.IsNaN(r) {
 		t.Fatal("path assortativity NaN")

@@ -96,7 +96,9 @@ type FailureReport struct {
 	Disconnects bool
 
 	// StrandedTraffic is the demand between PoP pairs separated by the
-	// failure (zero when Disconnects is false).
+	// failure (zero when Disconnects is false). Like ReroutedTraffic it
+	// counts each unordered pair once, so the matching normalizer is
+	// traffic.Matrix.TotalUnordered.
 	StrandedTraffic float64
 
 	// MaxOverload is the maximum, over surviving links, of
@@ -160,10 +162,14 @@ func SingleLinkFailures(e *cost.Evaluator, g *graph.Graph) ([]FailureReport, err
 				rep.MaxOverload = math.Inf(1)
 			}
 		}
-		// Rerouted demand: pairs whose shortest path length changed.
+		// Rerouted demand: pairs whose route changed. Comparing path
+		// lengths is not enough — a failure can push traffic onto an
+		// equal-length alternative (duplicate distances are routine in
+		// symmetric layouts), which still churns forwarding state — so
+		// compare the routes themselves.
 		for s := 0; s < n; s++ {
 			for d := s + 1; d < n; d++ {
-				if ev.Routing.PathDist[s][d] != base.Routing.PathDist[s][d] {
+				if pathChanged(base.Routing, ev.Routing, s, d) {
 					rep.ReroutedTraffic += tm.Demand[s][d]
 				}
 			}
@@ -171,6 +177,22 @@ func SingleLinkFailures(e *cost.Evaluator, g *graph.Graph) ([]FailureReport, err
 		reports = append(reports, rep)
 	}
 	return reports, nil
+}
+
+// pathChanged reports whether the s→d route differs between two routings
+// of the same node set. It walks both parent chains from d back toward s
+// in lockstep: the first disagreeing hop proves the route changed, and
+// reaching s with every hop equal proves it did not. Both routings must
+// have s→d connected.
+func pathChanged(a, b *cost.Routing, s, d int) bool {
+	for v := d; v != s; {
+		pa, pb := a.Parent[s][v], b.Parent[s][v]
+		if pa != pb {
+			return true
+		}
+		v = int(pa)
+	}
+	return false
 }
 
 // Survivability summarizes a failure sweep: the fraction of links whose
@@ -186,6 +208,8 @@ type Survivability struct {
 }
 
 // Summarize aggregates failure reports against the context's total demand.
+// totalDemand must count each unordered pair once — pass
+// traffic.Matrix.TotalUnordered(), not Total(), or reroute shares halve.
 func Summarize(reports []FailureReport, totalDemand float64) Survivability {
 	s := Survivability{Links: len(reports)}
 	var rerouteSum float64

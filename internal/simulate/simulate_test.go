@@ -169,6 +169,70 @@ func TestRingFailureReroutesEverything(t *testing.T) {
 	}
 }
 
+// TestFailureCountsEqualLengthReroutes: on a unit-square ring the diagonal
+// pair (0,2) has two shortest routes of identical length; failing the one
+// in use forces an equal-length switch. Comparing path lengths alone (the
+// pre-fix ReroutedTraffic) cannot see that churn — this test fails against
+// that implementation.
+func TestFailureCountsEqualLengthReroutes(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}}
+	tm := traffic.Gravity([]float64{1, 1, 1, 1}, 1)
+	e, err := cost.NewEvaluator(geom.DistanceMatrix(pts), tm, cost.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, (i+1)%4)
+	}
+	base := e.Evaluate(g)
+	x := base.Routing.NextHop(0, 2) // whichever corner the tie-break chose
+	if x != 1 && x != 3 {
+		t.Fatalf("diagonal next hop = %d, want a ring neighbor", x)
+	}
+	failed := graph.Edge{I: 0, J: x}
+
+	reports, err := SingleLinkFailures(e, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *FailureReport
+	for i := range reports {
+		if reports[i].Failed == failed {
+			rep = &reports[i]
+		}
+	}
+	if rep == nil {
+		t.Fatalf("no report for failed link %v", failed)
+	}
+
+	// Recompute what length comparison alone would count, and confirm the
+	// diagonal's reroute really is length-preserving.
+	h := g.Clone()
+	h.RemoveEdge(failed.I, failed.J)
+	ev := e.Evaluate(h)
+	if ev.Routing.PathDist[0][2] != base.Routing.PathDist[0][2] {
+		t.Fatalf("diagonal length changed (%v -> %v); square geometry broken",
+			base.Routing.PathDist[0][2], ev.Routing.PathDist[0][2])
+	}
+	var lengthOnly float64
+	for s := 0; s < 4; s++ {
+		for d := s + 1; d < 4; d++ {
+			if ev.Routing.PathDist[s][d] != base.Routing.PathDist[s][d] {
+				lengthOnly += tm.Demand[s][d]
+			}
+		}
+	}
+	if rep.ReroutedTraffic <= lengthOnly {
+		t.Fatalf("ReroutedTraffic = %v, no more than the length-only count %v — equal-length reroute missed",
+			rep.ReroutedTraffic, lengthOnly)
+	}
+	if want := lengthOnly + tm.Demand[0][2]; rep.ReroutedTraffic < want-1e-12 {
+		t.Errorf("ReroutedTraffic = %v does not include the diagonal demand (want >= %v)",
+			rep.ReroutedTraffic, want)
+	}
+}
+
 func TestSummarizeEmpty(t *testing.T) {
 	s := Summarize(nil, 100)
 	if s.Links != 0 || s.SurvivableShare != 0 {
@@ -177,12 +241,5 @@ func TestSummarizeEmpty(t *testing.T) {
 }
 
 func totalDemand(e *cost.Evaluator) float64 {
-	tm := e.Traffic()
-	var total float64
-	for i := 0; i < tm.N(); i++ {
-		for j := i + 1; j < tm.N(); j++ {
-			total += tm.Demand[i][j]
-		}
-	}
-	return total
+	return e.Traffic().TotalUnordered()
 }

@@ -87,6 +87,15 @@ type RunEnd struct {
 	FullSweeps  uint64            `json:"full_sweeps"`
 	DeltaEvals  uint64            `json:"delta_evals"`
 	Fallbacks   map[string]uint64 `json:"fallbacks,omitempty"`
+	// Multi-base routing-table cache counters: hits found a retained base
+	// within the edge budget, misses primed a new one, evictions dropped the
+	// least-recently-used base past the MaxBases cap. BaseDistance[d] counts
+	// delta evaluations whose chosen base was exactly d edge toggles away
+	// (last bucket: that far or farther); omitted while all-zero.
+	BaseHits      uint64   `json:"base_hits"`
+	BaseMisses    uint64   `json:"base_misses"`
+	BaseEvictions uint64   `json:"base_evictions"`
+	BaseDistance  []uint64 `json:"base_distance,omitempty"`
 }
 
 // SanitizeFloat clamps non-finite values so they survive JSON encoding:

@@ -139,9 +139,11 @@ func (m *Matrix) Total() float64 {
 }
 
 // Gravity builds the gravity-model traffic matrix from populations:
-// Demand[i][j] = scale · pop_i · pop_j for i ≠ j. With the paper's default
-// populations (mean 30) and scale 1, the induced link loads put the
-// interesting k2 range at 1e-5..2e-3, matching the figures.
+// Demand[i][j] = scale · pop_i · pop_j for i ≠ j. Pass DefaultGravityScale
+// to reproduce the paper's figures — that is the calibrated constant every
+// experiment harness uses; other scales simply shift the k2 range where
+// the tree-to-mesh transition happens (multiplying scale by c divides the
+// interesting k2 values by c).
 func Gravity(pops []float64, scale float64) *Matrix {
 	n := len(pops)
 	d := make([][]float64, n)
@@ -157,6 +159,20 @@ func Gravity(pops []float64, scale float64) *Matrix {
 		}
 	}
 	return &Matrix{Demand: d}
+}
+
+// TotalUnordered returns the demand summed over unordered PoP pairs —
+// half of Total(), since the matrix is symmetric with a zero diagonal.
+// This is the normalizer for quantities that also sum each pair once,
+// like simulate's StrandedTraffic and ReroutedTraffic.
+func (m *Matrix) TotalUnordered() float64 {
+	var s float64
+	for i, row := range m.Demand {
+		for _, v := range row[i+1:] {
+			s += v
+		}
+	}
+	return s
 }
 
 // Validate checks structural invariants: squareness, symmetry, zero

@@ -117,37 +117,49 @@ func Ring(n int) *graph.Graph {
 	return g
 }
 
-// RingWithChords returns the n-cycle plus `chords` random non-ring links.
+// RingWithChords returns the n-cycle plus `chords` random non-ring links,
+// clamped to the number of absent pairs (a small ring runs out of chords:
+// the 4-ring has only its two diagonals).
 func RingWithChords(n, chords int, rng *rand.Rand) *graph.Graph {
 	g := Ring(n)
-	for added := 0; added < chords; {
-		i, j := rng.Intn(n), rng.Intn(n)
-		if i == j || g.HasEdge(i, j) {
-			continue
-		}
-		g.AddEdge(i, j)
-		added++
-	}
+	addRandomAbsent(g, chords, rng)
 	return g
 }
 
 // PartialMesh returns a connected sparse random graph with the given
-// average degree: a random tree backbone plus random extra links.
+// average degree: a random tree backbone plus random extra links, clamped
+// to the complete graph when avgDegree asks for more.
 func PartialMesh(n int, avgDegree float64, rng *rand.Rand) *graph.Graph {
 	g := RandomTree(n, rng)
 	wantEdges := int(avgDegree * float64(n) / 2)
-	maxEdges := n * (n - 1) / 2
-	if wantEdges > maxEdges {
-		wantEdges = maxEdges
-	}
-	for g.NumEdges() < wantEdges {
-		i, j := rng.Intn(n), rng.Intn(n)
-		if i == j || g.HasEdge(i, j) {
-			continue
-		}
-		g.AddEdge(i, j)
-	}
+	addRandomAbsent(g, wantEdges-g.NumEdges(), rng)
 	return g
+}
+
+// addRandomAbsent adds min(count, feasible) uniformly drawn absent links
+// to g: enumerate the absent pairs once and draw by partial Fisher–Yates.
+// The old rejection loops spun forever when count exceeded the absent
+// pairs and degenerated near the complete graph; this is deterministically
+// bounded (the same fix as the GA's linkMutation).
+func addRandomAbsent(g *graph.Graph, count int, rng *rand.Rand) {
+	if count <= 0 {
+		return
+	}
+	n := g.N()
+	var pairs []int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !g.HasEdge(i, j) {
+				pairs = append(pairs, i*n+j)
+			}
+		}
+	}
+	count = min(count, len(pairs))
+	for k := 0; k < count; k++ {
+		m := k + rng.Intn(len(pairs)-k)
+		pairs[k], pairs[m] = pairs[m], pairs[k]
+		g.AddEdge(pairs[k]/n, pairs[k]%n)
+	}
 }
 
 // Dense returns a small dense network: a connected ER graph with p = 0.7.

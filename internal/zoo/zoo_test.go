@@ -94,6 +94,32 @@ func TestArchetypes(t *testing.T) {
 	}
 }
 
+// TestArchetypeBoundaries: infeasible chord/degree requests clamp to the
+// complete graph instead of rejection-sampling forever (these calls hung
+// before addRandomAbsent).
+func TestArchetypeBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if g := RingWithChords(4, 10, rng); g.NumEdges() != 6 {
+		t.Errorf("RingWithChords(4, 10) has %d edges, want the complete graph's 6", g.NumEdges())
+	}
+	if g := RingWithChords(3, 5, rng); g.NumEdges() != 3 {
+		t.Errorf("RingWithChords(3, 5) has %d edges, want 3 (ring already complete)", g.NumEdges())
+	}
+	if g := RingWithChords(5, 0, rng); g.NumEdges() != 5 {
+		t.Errorf("RingWithChords(5, 0) has %d edges, want the bare ring's 5", g.NumEdges())
+	}
+	if g := PartialMesh(5, 100, rng); g.NumEdges() != 10 {
+		t.Errorf("PartialMesh(5, 100) has %d edges, want the complete graph's 10", g.NumEdges())
+	}
+	if g := PartialMesh(6, 0.1, rng); g.NumEdges() != 5 || !g.IsConnected() {
+		t.Errorf("PartialMesh(6, 0.1) has %d edges, want the tree backbone's 5", g.NumEdges())
+	}
+	// Exact feasible requests land exactly, with every pair distinct.
+	if g := RingWithChords(6, 9, rng); g.NumEdges() != 15 {
+		t.Errorf("RingWithChords(6, 9) has %d edges, want 15", g.NumEdges())
+	}
+}
+
 func TestSummaries(t *testing.T) {
 	nets := DefaultEnsemble()[:10]
 	sums := Summaries(nets)

@@ -28,9 +28,21 @@ type EvalStats struct {
 	// DeltaEvals counts evaluations served incrementally.
 	DeltaEvals uint64 `json:"delta_evals"`
 	// Fallbacks counts delta requests that ran a full sweep instead, keyed
-	// by reason: "disabled", "budget", "base", "reconcile", "affected",
-	// "disconnected". Zero-count reasons are omitted.
+	// by reason: "disabled", "budget", "base", "reconcile", "policy",
+	// "affected", "disconnected". Zero-count reasons are omitted.
 	Fallbacks map[string]uint64 `json:"fallbacks,omitempty"`
+	// BaseHits counts delta requests served from a retained base of the
+	// multi-base routing-table cache, BaseMisses requests where no retained
+	// base was within the edge budget (CostDelta then primes the caller's
+	// base, unless the adaptive policy declines), and BaseEvictions bases
+	// dropped past Options.MaxBases.
+	BaseHits      uint64 `json:"base_hits"`
+	BaseMisses    uint64 `json:"base_misses"`
+	BaseEvictions uint64 `json:"base_evictions"`
+	// BaseDistance is the nearest-base distance histogram: bucket d counts
+	// delta evaluations whose chosen base was exactly d edge toggles away
+	// (last bucket absorbs larger distances). Omitted while all-zero.
+	BaseDistance []uint64 `json:"base_distance,omitempty"`
 	// Kernel is the shortest-path kernel the evaluator selected: "heap" or
 	// "linear". Empty in aggregated (multi-replica) stats.
 	Kernel string `json:"kernel,omitempty"`
@@ -38,13 +50,71 @@ type EvalStats struct {
 
 func newEvalStats(s cost.Stats) EvalStats {
 	return EvalStats{
-		CacheHits:   s.CacheHits,
-		CacheMisses: s.CacheMisses,
-		FullSweeps:  s.FullSweeps,
-		DeltaEvals:  s.DeltaEvals,
-		Fallbacks:   s.Fallbacks.Map(),
-		Kernel:      s.Kernel,
+		CacheHits:     s.CacheHits,
+		CacheMisses:   s.CacheMisses,
+		FullSweeps:    s.FullSweeps,
+		DeltaEvals:    s.DeltaEvals,
+		Fallbacks:     s.Fallbacks.Map(),
+		BaseHits:      s.BaseHits,
+		BaseMisses:    s.BaseMisses,
+		BaseEvictions: s.BaseEvictions,
+		BaseDistance:  nonZeroBuckets(s.BaseDistance),
+		Kernel:        s.Kernel,
 	}
+}
+
+// nonZeroBuckets returns h unless every bucket is zero, in which case it
+// returns nil so omitempty drops the field from JSON.
+func nonZeroBuckets(h []uint64) []uint64 {
+	for _, v := range h {
+		if v != 0 {
+			return h
+		}
+	}
+	return nil
+}
+
+// add folds one replica's evaluator counters into the aggregate (Kernel is
+// per-evaluator, so it is dropped). Callers hold whatever lock guards a.
+func (a *EvalStats) add(s cost.Stats) {
+	a.CacheHits += s.CacheHits
+	a.CacheMisses += s.CacheMisses
+	a.FullSweeps += s.FullSweeps
+	a.DeltaEvals += s.DeltaEvals
+	a.BaseHits += s.BaseHits
+	a.BaseMisses += s.BaseMisses
+	a.BaseEvictions += s.BaseEvictions
+	if d := nonZeroBuckets(s.BaseDistance); d != nil {
+		if a.BaseDistance == nil {
+			a.BaseDistance = make([]uint64, len(d))
+		}
+		for i, v := range d {
+			if i < len(a.BaseDistance) {
+				a.BaseDistance[i] += v
+			}
+		}
+	}
+	for k, v := range s.Fallbacks.Map() {
+		if a.Fallbacks == nil {
+			a.Fallbacks = make(map[string]uint64)
+		}
+		a.Fallbacks[k] += v
+	}
+}
+
+// clone deep-copies the aggregate so snapshots cannot race later additions.
+func (a EvalStats) clone() EvalStats {
+	if a.Fallbacks != nil {
+		m := make(map[string]uint64, len(a.Fallbacks))
+		for k, v := range a.Fallbacks {
+			m[k] = v
+		}
+		a.Fallbacks = m
+	}
+	if a.BaseDistance != nil {
+		a.BaseDistance = append([]uint64(nil), a.BaseDistance...)
+	}
+	return a
 }
 
 // DurationStats summarizes a duration histogram in nanoseconds. Quantiles
@@ -144,14 +214,7 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		return TelemetrySnapshot{SchemaVersion: TraceSchemaVersion}
 	}
 	t.mu.Lock()
-	agg := t.agg
-	if agg.Fallbacks != nil {
-		m := make(map[string]uint64, len(agg.Fallbacks))
-		for k, v := range agg.Fallbacks {
-			m[k] = v
-		}
-		agg.Fallbacks = m
-	}
+	agg := t.agg.clone()
 	t.mu.Unlock()
 	h := t.evalDur.Snapshot()
 	return TelemetrySnapshot{
@@ -184,20 +247,11 @@ func (t *Telemetry) record(name string, payload any) {
 }
 
 // addEvalStats folds one finished replica's evaluator counters into the
-// aggregate (Kernel is per-evaluator, so it is dropped).
+// aggregate.
 func (t *Telemetry) addEvalStats(s cost.Stats) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.agg.CacheHits += s.CacheHits
-	t.agg.CacheMisses += s.CacheMisses
-	t.agg.FullSweeps += s.FullSweeps
-	t.agg.DeltaEvals += s.DeltaEvals
-	for k, v := range s.Fallbacks.Map() {
-		if t.agg.Fallbacks == nil {
-			t.agg.Fallbacks = make(map[string]uint64)
-		}
-		t.agg.Fallbacks[k] += v
-	}
+	t.agg.add(s)
 }
 
 // runTracker scopes one ensemble run's trace events and rollups. A nil
@@ -252,16 +306,20 @@ func (r *runTracker) end() {
 	agg := r.agg
 	r.mu.Unlock()
 	r.t.record("run_end", telemetry.RunEnd{
-		Replicas:    r.replicas,
-		Workers:     r.workers,
-		DurNs:       dur,
-		BusyNs:      busy,
-		Utilization: util,
-		CacheHits:   agg.CacheHits,
-		CacheMisses: agg.CacheMisses,
-		FullSweeps:  agg.FullSweeps,
-		DeltaEvals:  agg.DeltaEvals,
-		Fallbacks:   agg.Fallbacks,
+		Replicas:      r.replicas,
+		Workers:       r.workers,
+		DurNs:         dur,
+		BusyNs:        busy,
+		Utilization:   util,
+		CacheHits:     agg.CacheHits,
+		CacheMisses:   agg.CacheMisses,
+		FullSweeps:    agg.FullSweeps,
+		DeltaEvals:    agg.DeltaEvals,
+		Fallbacks:     agg.Fallbacks,
+		BaseHits:      agg.BaseHits,
+		BaseMisses:    agg.BaseMisses,
+		BaseEvictions: agg.BaseEvictions,
+		BaseDistance:  agg.BaseDistance,
 	})
 }
 
@@ -271,16 +329,7 @@ func (r *runTracker) addEvalStats(s cost.Stats) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.agg.CacheHits += s.CacheHits
-	r.agg.CacheMisses += s.CacheMisses
-	r.agg.FullSweeps += s.FullSweeps
-	r.agg.DeltaEvals += s.DeltaEvals
-	for k, v := range s.Fallbacks.Map() {
-		if r.agg.Fallbacks == nil {
-			r.agg.Fallbacks = make(map[string]uint64)
-		}
-		r.agg.Fallbacks[k] += v
-	}
+	r.agg.add(s)
 }
 
 // replicaTracker scopes one replica's events: replica_start has already
