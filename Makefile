@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check examples bench bench-smoke fuzz ensemble
+.PHONY: build test vet race check examples bench bench-smoke fuzz ensemble coldd-smoke
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,14 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/cost -run '^$$' -fuzz FuzzDijkstraEquivalence -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cost -run '^$$' -fuzz FuzzEvaluateDelta -fuzztime $(FUZZTIME)
+
+# End-to-end smoke of the coldd generation service: builds the real
+# binary, starts it on a free port, POSTs the same config twice and
+# asserts the second response is a pure cache hit (byte-identical body,
+# cache_hits=1, generations=1 in /v1/stats), then checks clean shutdown
+# on SIGINT. CI runs this after `make check`.
+coldd-smoke:
+	$(GO) test ./cmd/coldd -run TestColddSmoke -count=1 -v
 
 # Serial-vs-parallel ensemble throughput on this machine.
 ensemble:

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"sync"
+)
+
+// job is one in-flight generation, shared by every request that asked for
+// the same cache key (single-flight): the first request starts the job,
+// identical concurrent requests tail the same grow-only artifact buffer,
+// and the job's context stays alive while anyone is still interested —
+// refcounted, so cancelling the last interested request cancels the
+// generation and frees its queue slot.
+//
+// The buffer holds the artifact bytes exactly as they will be stored:
+// one compact network JSON per line, in replica order. Appends are
+// whole-line, so a reader that consumes the buffer in chunks still sees
+// only complete lines once the job is done.
+type job struct {
+	key    string
+	total  int // requested ensemble size
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	buf    []byte
+	lines  int
+	done   bool
+	err    error
+	refs   int
+	notify chan struct{} // closed and replaced on every state change
+}
+
+func newJob(key string, total int, cancel context.CancelFunc) *job {
+	return &job{key: key, total: total, cancel: cancel, refs: 1, notify: make(chan struct{})}
+}
+
+// wake closes the current notify channel, releasing every tailing reader.
+// Callers hold j.mu.
+func (j *job) wake() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// append adds one complete artifact line (network JSON + '\n').
+func (j *job) append(line []byte) {
+	j.mu.Lock()
+	j.buf = append(j.buf, line...)
+	j.lines++
+	j.wake()
+	j.mu.Unlock()
+}
+
+// finish marks the job done (err nil on success) and wakes all readers.
+func (j *job) finish(err error) {
+	j.mu.Lock()
+	j.done = true
+	j.err = err
+	j.wake()
+	j.mu.Unlock()
+}
+
+// snapshot returns the bytes appended since off, the completion state, and
+// a channel that is closed on the next state change (for readers to block
+// on alongside their own cancellation).
+func (j *job) snapshot(off int) (chunk []byte, done bool, err error, next <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if off < len(j.buf) {
+		chunk = j.buf[off:]
+	}
+	return chunk, j.done, j.err, j.notify
+}
+
+// result blocks until the job finishes and returns the full artifact.
+func (j *job) result(ctx context.Context) ([]byte, error) {
+	off := 0
+	for {
+		chunk, done, err, next := j.snapshot(off)
+		off += len(chunk)
+		if done {
+			if err != nil {
+				return nil, err
+			}
+			buf, _, _, _ := j.snapshot(0)
+			return buf, nil
+		}
+		select {
+		case <-next:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// tryJoin registers another interested request. It reports false when the
+// job lost its last requester and is being torn down (its context is
+// already canceled, so a new requester must not board it).
+func (j *job) tryJoin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.refs == 0 && !j.done {
+		return false
+	}
+	j.refs++
+	return true
+}
+
+// leave drops one interested request; when the last one leaves before the
+// job is done, the generation is canceled (freeing its queue slot).
+func (j *job) leave() {
+	j.mu.Lock()
+	j.refs--
+	abandon := j.refs == 0 && !j.done
+	j.mu.Unlock()
+	if abandon {
+		j.cancel()
+	}
+}

@@ -1,0 +1,107 @@
+// Command coldd is a long-lived HTTP service generating COLD topology
+// ensembles for many concurrent clients, with a persistent
+// content-addressed result cache.
+//
+// COLD is deterministic: a Config fully determines its output ensemble, so
+// requests are cached under the canonical config hash
+// (cold.Config.Hash()) — identical requests cost one generation, however
+// many clients send them. Concurrent identical requests are collapsed onto
+// a single in-flight job (single-flight) and all stream its results as
+// replicas finish. A bounded job queue (-jobs running, -queue waiting)
+// sheds load with 429 beyond that, and abandoning a request cancels its
+// generation, freeing the queue slot.
+//
+// Usage:
+//
+//	coldd -addr localhost:8264 -cache /var/cache/coldd -jobs 2 -queue 64
+//
+//	curl -s localhost:8264/v1/generate -d '{"config":{"NumPoPs":20,"Seed":1},"count":4}'
+//	curl -s localhost:8264/v1/stats
+//
+// See DESIGN.md ("Service API") for endpoints, schemas, and the cache-key
+// contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	"github.com/networksynth/cold/internal/diag"
+	"github.com/networksynth/cold/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "coldd:", err)
+		os.Exit(1)
+	}
+}
+
+func defaultCacheDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "coldd")
+	}
+	return filepath.Join(os.TempDir(), "coldd-cache")
+}
+
+func run() error {
+	addr := flag.String("addr", "localhost:8264", "listen address (host:port; port 0 picks a free one)")
+	cacheDir := flag.String("cache", defaultCacheDir(), "artifact cache directory")
+	cacheMax := flag.Int64("cache-max-bytes", 1<<30, "artifact cache LRU size bound in bytes (0 = unbounded)")
+	jobs := flag.Int("jobs", 2, "concurrent generation jobs")
+	queueDepth := flag.Int("queue", 64, "queued (admitted but not yet running) jobs before 429")
+	parallel := flag.Int("parallel", 0, "worker goroutines per generation job (0 = all CPUs)")
+	maxCount := flag.Int("max-count", 256, "largest ensemble size a request may ask for")
+	maxPoPs := flag.Int("max-pops", 512, "largest NumPoPs a request may ask for")
+	flag.Parse()
+
+	st, err := store.Open(*cacheDir, store.Options{MaxBytes: *cacheMax})
+	if err != nil {
+		return err
+	}
+
+	// SIGINT/SIGTERM drain the server and cancel in-flight generations.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	s := newServer(serverOptions{
+		store:      st,
+		base:       ctx,
+		jobs:       *jobs,
+		queueDepth: *queueDepth,
+		parallel:   *parallel,
+		maxCount:   *maxCount,
+		maxPoPs:    *maxPoPs,
+	})
+	diag.Publish(func() any { return s.tel.Snapshot() })
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.handler()}
+	fmt.Fprintf(os.Stderr, "coldd: listening on http://%s (cache %s)\n", ln.Addr(), st.Dir())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "coldd: shut down")
+	return nil
+}

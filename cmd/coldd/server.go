@@ -1,0 +1,199 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	cold "github.com/networksynth/cold"
+	"github.com/networksynth/cold/internal/store"
+	"github.com/networksynth/cold/internal/telemetry"
+)
+
+// artifactVersion versions the stored artifact encoding (JSONL of compact
+// network JSON, one per replica, in replica order). It is part of every
+// cache key alongside cold.ConfigSchemaVersion (inside Config.Hash), so
+// changing either encoding can never serve stale bytes.
+const artifactVersion = 1
+
+// artifactKey is the content address of one request's output: the
+// canonical config hash, the ensemble size, and the artifact schema
+// version. Determinism makes this a pure function of the response bytes.
+func artifactKey(hash string, count int) string {
+	return fmt.Sprintf("%s-c%d-a%d", hash, count, artifactVersion)
+}
+
+// serverOptions configure a coldd server.
+type serverOptions struct {
+	store      *store.Store
+	base       context.Context // cancels all in-flight generation on shutdown
+	jobs       int             // concurrent generations
+	queueDepth int             // further admitted jobs waiting for a slot
+	parallel   int             // worker goroutines per generation (0 = all CPUs)
+	maxCount   int             // per-request ensemble size bound
+	maxPoPs    int             // per-request NumPoPs bound
+}
+
+// server is the coldd HTTP daemon: a bounded job queue feeding the cold
+// generation engine, fronted by a content-addressed artifact cache and
+// single-flight collapsing of identical concurrent requests.
+type server struct {
+	opts  serverOptions
+	store *store.Store
+	tel   *cold.Telemetry
+	q     *queue
+	base  context.Context
+
+	mu   sync.Mutex
+	jobs map[string]*job
+
+	requests    telemetry.Counter
+	badRequests telemetry.Counter
+	cacheHits   telemetry.Counter // served straight from the artifact store
+	cacheMisses telemetry.Counter // jobs started (generator invoked or queued)
+	sfShared    telemetry.Counter // requests collapsed onto an in-flight job
+	generations telemetry.Counter // jobs that actually entered the generator
+	queueFull   telemetry.Counter
+	canceled    telemetry.Counter
+}
+
+func newServer(opts serverOptions) *server {
+	if opts.base == nil {
+		opts.base = context.Background()
+	}
+	if opts.maxCount <= 0 {
+		opts.maxCount = 256
+	}
+	return &server{
+		opts:  opts,
+		store: opts.store,
+		tel:   cold.NewTelemetry(),
+		q:     newQueue(opts.jobs, opts.queueDepth),
+		base:  opts.base,
+		jobs:  make(map[string]*job),
+	}
+}
+
+// lookup resolves one request to either cached artifact bytes or a job to
+// tail: store hit → (data, nil); in-flight identical request → join it;
+// otherwise admit the queue and start a new job. The queue-full check is
+// synchronous, so a rejected request never creates a job.
+func (s *server) lookup(cfg cold.Config, count int, key string) (data []byte, j *job, err error) {
+	if data, err := s.store.Get(key); err == nil {
+		s.cacheHits.Inc()
+		return data, nil, nil
+	} else if !errors.Is(err, store.ErrNotFound) {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[key]; ok && j.tryJoin() {
+		s.sfShared.Inc()
+		return nil, j, nil
+	}
+	// No live job (any mapped one is being torn down after losing its last
+	// requester — replace it; its runner only detaches itself). Admission
+	// before job creation keeps 429 synchronous.
+	if err := s.q.admit(); err != nil {
+		s.queueFull.Inc()
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithCancel(s.base)
+	nj := newJob(key, count, cancel)
+	s.jobs[key] = nj
+	s.cacheMisses.Inc()
+	go s.run(ctx, nj, cfg, count)
+	return nil, nj, nil
+}
+
+// run executes one generation job: wait for a queue slot, stream replicas
+// into the job buffer in replica order, persist the finished artifact.
+func (s *server) run(ctx context.Context, j *job, cfg cold.Config, count int) {
+	defer s.detach(j)
+	defer s.q.leave()
+	if err := s.q.wait(ctx); err != nil {
+		s.canceled.Inc()
+		j.finish(err)
+		return
+	}
+	defer s.q.release()
+	s.generations.Inc()
+
+	// The request's parallelism/progress/telemetry are service concerns:
+	// results are bit-identical across all of them, and the canonical hash
+	// excludes them, so the server always substitutes its own.
+	cfg.Parallelism = s.opts.parallel
+	cfg.Progress = nil
+	cfg.Telemetry = s.tel
+	err := cold.GenerateEnsembleStream(ctx, cfg, count, func(i int, nw *cold.Network) error {
+		line, err := json.Marshal(nw)
+		if err != nil {
+			return err
+		}
+		j.append(append(line, '\n'))
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.canceled.Inc()
+		}
+		j.finish(err)
+		return
+	}
+	data, _, _, _ := j.snapshot(0)
+	if err := s.store.Put(j.key, data); err != nil {
+		// A cache write failure degrades future requests to regeneration;
+		// this one still has its bytes.
+		log.Printf("coldd: caching %s: %v", j.key, err)
+	}
+	j.finish(nil)
+}
+
+// detach removes a finished (or replaced) job from the index.
+func (s *server) detach(j *job) {
+	s.mu.Lock()
+	if s.jobs[j.key] == j {
+		delete(s.jobs, j.key)
+	}
+	s.mu.Unlock()
+}
+
+// statsResponse is the GET /v1/stats payload.
+type statsResponse struct {
+	Requests           uint64 `json:"requests"`
+	BadRequests        uint64 `json:"bad_requests"`
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	SingleflightShared uint64 `json:"singleflight_shared"`
+	Generations        uint64 `json:"generations"`
+	QueueFull          uint64 `json:"queue_full"`
+	Canceled           uint64 `json:"canceled"`
+	ActiveJobs         int    `json:"active_jobs"` // admitted: running + waiting
+	QueueWaitNs        int64  `json:"queue_wait_ns"`
+	QueueWaits         int64  `json:"queue_waits"`
+
+	Store     store.Stats            `json:"store"`
+	Telemetry cold.TelemetrySnapshot `json:"telemetry"`
+}
+
+func (s *server) stats() statsResponse {
+	waitNs, waits := s.q.waitNs.snapshot()
+	return statsResponse{
+		Requests:           s.requests.Load(),
+		BadRequests:        s.badRequests.Load(),
+		CacheHits:          s.cacheHits.Load(),
+		CacheMisses:        s.cacheMisses.Load(),
+		SingleflightShared: s.sfShared.Load(),
+		Generations:        s.generations.Load(),
+		QueueFull:          s.queueFull.Load(),
+		Canceled:           s.canceled.Load(),
+		ActiveJobs:         s.q.depth(),
+		QueueWaitNs:        waitNs,
+		QueueWaits:         waits,
+		Store:              s.store.Stats(),
+		Telemetry:          s.tel.Snapshot(),
+	}
+}

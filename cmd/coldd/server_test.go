@@ -1,0 +1,355 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	cold "github.com/networksynth/cold"
+	"github.com/networksynth/cold/internal/store"
+)
+
+// newTestServer builds a server over a fresh temp store and returns it with
+// a live httptest front end.
+func newTestServer(t *testing.T, opts serverOptions) (*server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.store = st
+	if opts.jobs == 0 {
+		opts.jobs = 1
+	}
+	if opts.parallel == 0 {
+		opts.parallel = 1
+	}
+	s := newServer(opts)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// tinyBody is a fast request: n=8 PoPs, an 8×4 GA.
+func tinyBody(seed int64, count int) string {
+	return fmt.Sprintf(`{"config":{"NumPoPs":8,"Seed":%d,"Optimizer":{"PopulationSize":8,"Generations":4}},"count":%d}`, seed, count)
+}
+
+// slowBody is a request that runs for many seconds if not canceled.
+func slowBody(seed int64) string {
+	return fmt.Sprintf(`{"config":{"NumPoPs":24,"Seed":%d,"Optimizer":{"PopulationSize":40,"Generations":200000}},"count":1}`, seed)
+}
+
+func post(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func getStats(t *testing.T, ts *httptest.Server) statsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return st
+}
+
+// waitStats polls /v1/stats until pred holds or the deadline passes.
+func waitStats(t *testing.T, ts *httptest.Server, what string, pred func(statsResponse) bool) statsResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := getStats(t, ts)
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; stats %+v", what, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestGenerateCacheMissThenHit(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{})
+
+	first := post(t, ts, tinyBody(1, 3))
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first POST status %d", first.StatusCode)
+	}
+	if got := first.Header.Get("X-Cold-Cache"); got != "miss" {
+		t.Errorf("first X-Cold-Cache = %q, want miss", got)
+	}
+	hash := first.Header.Get("X-Cold-Config-Hash")
+	if len(hash) != 64 {
+		t.Errorf("X-Cold-Config-Hash = %q, want 64 hex chars", hash)
+	}
+	body1 := readAll(t, first)
+
+	second := post(t, ts, tinyBody(1, 3))
+	if second.StatusCode != http.StatusOK {
+		t.Fatalf("second POST status %d", second.StatusCode)
+	}
+	if got := second.Header.Get("X-Cold-Cache"); got != "hit" {
+		t.Errorf("second X-Cold-Cache = %q, want hit", got)
+	}
+	body2 := readAll(t, second)
+
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("hit and miss responses must be byte-identical")
+	}
+	if lines := bytes.Count(body1, []byte("\n")); lines != 3 {
+		t.Fatalf("body has %d lines, want 3", lines)
+	}
+
+	st := getStats(t, ts)
+	if st.Generations != 1 {
+		t.Errorf("generations = %d, want 1 (second request must not invoke the generator)", st.Generations)
+	}
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+	if st.Store.Puts != 1 {
+		t.Errorf("store puts = %d, want 1", st.Store.Puts)
+	}
+}
+
+// TestGenerateMatchesLibrary pins the artifact encoding: the response lines
+// are exactly json.Marshal of the networks GenerateEnsemble returns.
+func TestGenerateMatchesLibrary(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{})
+	resp := post(t, ts, tinyBody(7, 2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body := readAll(t, resp)
+
+	cfg := cold.Config{NumPoPs: 8, Seed: 7, Parallelism: 1,
+		Optimizer: cold.OptimizerSpec{PopulationSize: 8, Generations: 4}}
+	nets, err := cold.GenerateEnsemble(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, nw := range nets {
+		b, err := json.Marshal(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Write(b)
+		want.WriteByte('\n')
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Fatal("response body differs from the library's ensemble")
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{maxCount: 4, maxPoPs: 64})
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"invalid config", `{"config":{"NumPoPs":0},"count":1}`, http.StatusBadRequest},
+		{"bad field error", `{"config":{"NumPoPs":8,"Traffic":{"Kind":1,"ParetoShape":0.5}},"count":1}`, http.StatusBadRequest},
+		{"unknown field", `{"config":{"NumPoPs":8,"Bogus":1}}`, http.StatusBadRequest},
+		{"malformed json", `{"config":`, http.StatusBadRequest},
+		{"negative count", `{"config":{"NumPoPs":8},"count":-2}`, http.StatusBadRequest},
+		{"count over limit", `{"config":{"NumPoPs":8},"count":5}`, http.StatusRequestEntityTooLarge},
+		{"pops over limit", `{"config":{"NumPoPs":65},"count":1}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp := post(t, ts, c.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != c.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, c.status)
+			}
+		})
+	}
+	if st := getStats(t, ts); st.Generations != 0 {
+		t.Errorf("invalid requests ran %d generations", st.Generations)
+	}
+}
+
+// TestCancelFreesQueueSlot is the acceptance path: cancelling an in-flight
+// request must cancel its generation and free the queue slot for the next
+// request.
+func TestCancelFreesQueueSlot(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{jobs: 1, queueDepth: 0})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/generate", strings.NewReader(slowBody(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	// Let the generation actually start, then abandon it.
+	waitStats(t, ts, "slow job to start", func(st statsResponse) bool { return st.Generations == 1 })
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request should error")
+	}
+	st := waitStats(t, ts, "queue slot to free", func(st statsResponse) bool {
+		return st.ActiveJobs == 0 && st.Canceled >= 1
+	})
+	if st.Canceled < 1 {
+		t.Fatalf("canceled = %d, want >= 1", st.Canceled)
+	}
+
+	// The freed slot must serve the next request.
+	resp := post(t, ts, tinyBody(2, 1))
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after cancel: status %d, body %s", resp.StatusCode, body)
+	}
+}
+
+func TestQueueFull429(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{jobs: 1, queueDepth: 0})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/generate", strings.NewReader(slowBody(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(done)
+	}()
+	waitStats(t, ts, "slow job to occupy the queue", func(st statsResponse) bool { return st.ActiveJobs == 1 })
+
+	// A different config (new cache key) finds the queue full.
+	resp := post(t, ts, slowBody(4))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if st := getStats(t, ts); st.QueueFull != 1 {
+		t.Errorf("queue_full = %d, want 1", st.QueueFull)
+	}
+	cancel()
+	<-done
+}
+
+// TestSingleflightShared: two concurrent identical requests share one
+// generation and receive identical bodies.
+func TestSingleflightShared(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{jobs: 2})
+
+	body := `{"config":{"NumPoPs":16,"Seed":9,"Optimizer":{"PopulationSize":20,"Generations":300}},"count":2}`
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, 2)
+	fire := func() {
+		resp := post(t, ts, body)
+		results <- result{resp.StatusCode, readAll(t, resp)}
+	}
+	go fire()
+	// Wait until the first request's job is in flight, then fire the twin.
+	waitStats(t, ts, "leader job to start", func(st statsResponse) bool { return st.CacheMisses == 1 })
+	go fire()
+
+	a, b := <-results, <-results
+	if a.status != http.StatusOK || b.status != http.StatusOK {
+		t.Fatalf("statuses %d, %d", a.status, b.status)
+	}
+	if !bytes.Equal(a.body, b.body) {
+		t.Fatal("single-flighted responses must be byte-identical")
+	}
+	st := getStats(t, ts)
+	if st.Generations != 1 {
+		t.Errorf("generations = %d, want 1", st.Generations)
+	}
+	if st.SingleflightShared+st.CacheHits != 1 {
+		// The twin either boarded the in-flight job or (if the leader
+		// finished first) hit the store; both mean one generation.
+		t.Errorf("shared=%d hits=%d, want exactly one of them = 1", st.SingleflightShared, st.CacheHits)
+	}
+}
+
+func TestSSEStream(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{})
+	// Round 0 selects SSE via ?stream=sse, round 1 via Accept content
+	// negotiation; both must work, on miss and hit paths respectively.
+	for i, wantCache := range []string{"miss", "hit"} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/generate?stream=sse", strings.NewReader(tinyBody(5, 2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if i == 1 {
+			req.URL.RawQuery = ""
+			req.Header.Set("Accept", "text/event-stream")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+			t.Fatalf("round %d: Content-Type %q", i, ct)
+		}
+		body := string(readAll(t, resp))
+		if got := strings.Count(body, "event: network\n"); got != 2 {
+			t.Fatalf("round %d: %d network events, want 2:\n%s", i, got, body)
+		}
+		if !strings.Contains(body, "event: done\n") {
+			t.Fatalf("round %d: missing done event:\n%s", i, body)
+		}
+		if !strings.Contains(body, fmt.Sprintf("%q", wantCache)) {
+			t.Fatalf("round %d: done event should report cache %q:\n%s", i, wantCache, body)
+		}
+	}
+}
+
+func TestHealthAndStatsEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	st := getStats(t, ts)
+	if st.Telemetry.SchemaVersion != cold.TraceSchemaVersion {
+		t.Errorf("stats telemetry schema = %d, want %d", st.Telemetry.SchemaVersion, cold.TraceSchemaVersion)
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+// TestColddSmoke is the end-to-end smoke `make coldd-smoke` runs in CI: it
+// builds the real coldd binary, starts it on a free port with a fresh
+// cache, POSTs one tiny config twice, and asserts the second response was
+// served from the artifact store (cache-hit counter up, generation counter
+// still 1) with a byte-identical body. It then interrupts the daemon and
+// waits for a clean shutdown.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestColddSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "coldd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building coldd: %v", err)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "localhost:0",
+		"-cache", filepath.Join(dir, "cache"),
+		"-jobs", "1",
+		"-parallel", "1",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var exitErr error
+	exited := make(chan struct{})
+	go func() { exitErr = cmd.Wait(); close(exited) }()
+	defer func() {
+		cmd.Process.Kill() //nolint:errcheck // no-op after clean shutdown
+		<-exited
+	}()
+
+	// The daemon prints "coldd: listening on http://ADDR (cache DIR)".
+	sc := bufio.NewScanner(stderr)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on http://"); i >= 0 {
+			rest := line[i+len("listening on http://"):]
+			base = "http://" + strings.Fields(rest)[0]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never reported its address: %v", sc.Err())
+	}
+	go func() { // drain the rest so the daemon never blocks on stderr
+		for sc.Scan() {
+		}
+	}()
+
+	body := `{"config":{"NumPoPs":8,"Seed":42,"Optimizer":{"PopulationSize":8,"Generations":4}},"count":2}`
+	postOnce := func(wantCache string) []byte {
+		resp, err := http.Post(base+"/v1/generate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Cold-Cache"); got != wantCache {
+			t.Fatalf("X-Cold-Cache = %q, want %q", got, wantCache)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := postOnce("miss")
+	second := postOnce("hit")
+	if !bytes.Equal(first, second) {
+		t.Fatal("identical POSTs must return byte-identical bodies")
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.CacheHits != 1 || st.Generations != 1 {
+		t.Fatalf("cache_hits=%d generations=%d, want 1 and 1 (second POST must be a pure cache hit)",
+			st.CacheHits, st.Generations)
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited:
+		if exitErr != nil {
+			t.Fatalf("daemon exited uncleanly: %v", exitErr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGINT")
+	}
+}

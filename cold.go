@@ -332,47 +332,79 @@ func GenerateEnsembleContext(ctx context.Context, cfg Config, count int) ([]*Net
 	if count < 0 {
 		return nil, fmt.Errorf("cold: negative ensemble size %d", count)
 	}
+	nets := make([]*Network, count)
+	if err := GenerateEnsembleStream(ctx, cfg, count, func(i int, nw *Network) error {
+		nets[i] = nw
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return nets, nil
+}
+
+// GenerateEnsembleStream is GenerateEnsembleContext for consumers that
+// want members as they become available instead of one final slice. emit
+// is called exactly once per completed member, in replica order (0, 1, …,
+// count-1): calls are serialized (never concurrent, including with
+// cfg.Progress), may come from a goroutine other than the caller's, and
+// stop once GenerateEnsembleStream returns. Workers complete replicas out
+// of order, so an emission can lag its completion while earlier replicas
+// finish — but the emitted sequence is bit-identical to the slice
+// GenerateEnsembleContext returns for the same Config: streaming changes
+// delivery, never results. Emitted members are released by the engine as
+// they are handed over, so peak memory is bounded by the reorder window
+// rather than by count. If emit returns an error, the run is canceled and
+// that error is returned verbatim (not wrapped).
+func GenerateEnsembleStream(ctx context.Context, cfg Config, count int, emit func(i int, nw *Network) error) error {
+	if count < 0 {
+		return fmt.Errorf("cold: negative ensemble size %d", count)
+	}
 	if count == 0 {
-		return []*Network{}, nil
+		return nil
 	}
 	workers := min(cfg.parallelism(), count)
-	nets := make([]*Network, count)
 	run := cfg.Telemetry.startRun(count, workers, cfg)
 	defer run.end()
 
 	if workers <= 1 {
-		for i := range nets {
+		for i := 0; i < count; i++ {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 			nw, err := generateReplica(ctx, cfg, run, i, 0, 0)
 			if err != nil {
 				if ctx.Err() != nil {
-					return nil, ctx.Err()
+					return ctx.Err()
 				}
-				return nil, fmt.Errorf("cold: ensemble member %d: %w", i, err)
+				return fmt.Errorf("cold: ensemble member %d: %w", i, err)
 			}
-			nets[i] = nw
 			if cfg.Progress != nil {
 				cfg.Progress(i+1, count)
 			}
+			if err := emit(i, nw); err != nil {
+				return err
+			}
 		}
-		return nets, nil
+		return nil
 	}
 
 	// Worker pool: replica indices flow through jobs; each worker runs
 	// whole replicas. Per-replica seeding makes members independent of
-	// which worker (or order) computed them, and nets[i] assignment keeps
-	// the output in replica order.
+	// which worker (or order) computed them; pending[i] holds completed
+	// members until every earlier replica has been emitted, so emissions
+	// come out in replica order.
 	pool, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		done     int
+		next     int // lowest replica index not yet emitted
+		emitErr  error
 		firstErr error
 		errIdx   int
 	)
+	pending := make([]*Network, count)
 	jobs := make(chan int)
 	// sendStart[i] is written before replica i is sent on jobs, so the
 	// channel receive orders it before the worker's read: queue wait is the
@@ -404,10 +436,22 @@ func GenerateEnsembleContext(ctx context.Context, cfg Config, count int) ([]*Net
 					cancel() // abort remaining replicas
 					continue
 				}
-				nets[i] = nw
+				pending[i] = nw
 				done++
 				if cfg.Progress != nil {
 					cfg.Progress(done, count)
+				}
+				// Flush the in-order prefix. Emit runs under mu, which is
+				// what serializes it with Progress and other emissions; a
+				// slow emit backpressures the workers.
+				for emitErr == nil && next < count && pending[next] != nil {
+					if err := emit(next, pending[next]); err != nil {
+						emitErr = err
+						cancel()
+						break
+					}
+					pending[next] = nil
+					next++
 				}
 				mu.Unlock()
 			}
@@ -427,12 +471,15 @@ feed:
 	close(jobs)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
+	}
+	if emitErr != nil {
+		return emitErr
 	}
 	if firstErr != nil {
-		return nil, fmt.Errorf("cold: ensemble member %d: %w", errIdx, firstErr)
+		return fmt.Errorf("cold: ensemble member %d: %w", errIdx, firstErr)
 	}
-	return nets, nil
+	return nil
 }
 
 // replicaTag domain-separates replica-seed derivation from every other
@@ -534,10 +581,13 @@ type synthContext struct {
 }
 
 func buildContext(cfg Config) (*synthContext, error) {
-	n := cfg.NumPoPs
-	if n < 1 {
-		return nil, fmt.Errorf("cold: NumPoPs %d must be >= 1", n)
+	// Validate is the single gatekeeper: every Generate* entry point funnels
+	// through here, so all of them return the same typed, errors.Is-able
+	// validation errors (ErrInvalidConfig, *FieldError).
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	n := cfg.NumPoPs
 	params := cfg.Params
 	if params == (Params{}) {
 		params = DefaultParams()

@@ -2,7 +2,9 @@ package cold
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -277,6 +279,63 @@ func TestGenerateEnsemble(t *testing.T) {
 	}
 }
 
+func TestGenerateEnsembleStreamOrderAndEquivalence(t *testing.T) {
+	// Stream emission must be in replica order and produce exactly the
+	// networks GenerateEnsemble returns, for both the serial and the
+	// parallel path.
+	for _, par := range []int{1, 4} {
+		cfg := fastConfig(8, 41)
+		cfg.Parallelism = par
+		want, err := GenerateEnsemble(cfg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []*Network
+		err = GenerateEnsembleStream(context.Background(), cfg, 5, func(i int, nw *Network) error {
+			if i != len(got) {
+				t.Fatalf("parallelism %d: emitted index %d, want %d (out of order)", par, i, len(got))
+			}
+			got = append(got, nw)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: streamed %d networks, want %d", par, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Cost.Total != want[i].Cost.Total || len(got[i].Links) != len(want[i].Links) {
+				t.Errorf("parallelism %d: member %d differs from GenerateEnsemble", par, i)
+			}
+		}
+	}
+}
+
+func TestGenerateEnsembleStreamEmitError(t *testing.T) {
+	// An emit error must stop the stream, cancel remaining work, and be
+	// returned verbatim.
+	sentinel := errors.New("sink full")
+	for _, par := range []int{1, 4} {
+		cfg := fastConfig(8, 41)
+		cfg.Parallelism = par
+		emitted := 0
+		err := GenerateEnsembleStream(context.Background(), cfg, 6, func(i int, nw *Network) error {
+			emitted++
+			if i == 1 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("parallelism %d: err = %v, want sentinel", par, err)
+		}
+		if emitted != 2 {
+			t.Errorf("parallelism %d: emit called %d times after error, want 2", par, emitted)
+		}
+	}
+}
+
 func TestCapacitiesCarryTraffic(t *testing.T) {
 	// Sum of capacity×length must equal the routed demand-weighted path
 	// lengths; indirectly verify capacities are positive and plausible.
@@ -346,13 +405,13 @@ func TestUnmarshalRejectsCorrupt(t *testing.T) {
 	}
 }
 
-func TestWriteDOT(t *testing.T) {
+func TestExportDOT(t *testing.T) {
 	nw, err := Generate(fastConfig(6, 61))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := nw.WriteDOT(&buf); err != nil {
+	if err := nw.Export(&buf, ExportDOT); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -361,13 +420,13 @@ func TestWriteDOT(t *testing.T) {
 	}
 }
 
-func TestWriteTSV(t *testing.T) {
+func TestExportTSV(t *testing.T) {
 	nw, err := Generate(fastConfig(6, 63))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := nw.WriteTSV(&buf); err != nil {
+	if err := nw.Export(&buf, ExportTSV); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")

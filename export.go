@@ -88,38 +88,41 @@ const (
 	ExportTSV
 )
 
-// String returns the format's canonical lower-case name.
-func (f ExportFormat) String() string {
-	switch f {
-	case ExportJSON:
-		return "json"
-	case ExportDOT:
-		return "dot"
-	case ExportTSV:
-		return "tsv"
-	default:
-		return fmt.Sprintf("ExportFormat(%d)", int(f))
-	}
+// exportFormatNames is the single source of format names: String,
+// ParseExportFormat and the parse error's valid-name list all derive from
+// it, so the three can never drift apart.
+var exportFormatNames = [...]string{
+	ExportJSON: "json",
+	ExportDOT:  "dot",
+	ExportTSV:  "tsv",
 }
 
-// ParseExportFormat maps a format name ("json", "dot", "tsv") to its
-// ExportFormat, for wiring Export to command-line flags.
-func ParseExportFormat(name string) (ExportFormat, error) {
-	switch strings.ToLower(name) {
-	case "json":
-		return ExportJSON, nil
-	case "dot":
-		return ExportDOT, nil
-	case "tsv":
-		return ExportTSV, nil
-	default:
-		return 0, fmt.Errorf("cold: unknown export format %q (want json, dot or tsv)", name)
+// String returns the format's canonical lower-case name — the exact
+// spelling ParseExportFormat accepts, so the two round-trip.
+func (f ExportFormat) String() string {
+	if f >= 0 && int(f) < len(exportFormatNames) {
+		return exportFormatNames[f]
 	}
+	return fmt.Sprintf("ExportFormat(%d)", int(f))
+}
+
+// ParseExportFormat maps a format name ("json", "dot", "tsv"; case
+// insensitive) to its ExportFormat, for wiring Export to command-line
+// flags. Unknown names are rejected with an error listing every valid
+// name. ParseExportFormat(f.String()) == f for all defined formats.
+func ParseExportFormat(name string) (ExportFormat, error) {
+	lower := strings.ToLower(name)
+	for f, n := range exportFormatNames {
+		if lower == n {
+			return ExportFormat(f), nil
+		}
+	}
+	return 0, fmt.Errorf("cold: unknown export format %q (valid formats: %s)",
+		name, strings.Join(exportFormatNames[:], ", "))
 }
 
 // Export writes the network to w in the given format. It is the single
-// entry point for all serializations; WriteDOT and WriteTSV remain as
-// deprecated wrappers.
+// entry point for all serializations.
 func (nw *Network) Export(w io.Writer, format ExportFormat) error {
 	switch format {
 	case ExportJSON:
@@ -131,19 +134,10 @@ func (nw *Network) Export(w io.Writer, format ExportFormat) error {
 	case ExportTSV:
 		return nw.writeTSV(w)
 	default:
-		return fmt.Errorf("cold: unknown export format %d", int(format))
+		return fmt.Errorf("cold: unknown export format %d (valid formats: %s)",
+			int(format), strings.Join(exportFormatNames[:], ", "))
 	}
 }
-
-// WriteDOT writes the network in Graphviz DOT format.
-//
-// Deprecated: use Export(w, ExportDOT).
-func (nw *Network) WriteDOT(w io.Writer) error { return nw.Export(w, ExportDOT) }
-
-// WriteTSV writes one link per line: a, b, length, capacity.
-//
-// Deprecated: use Export(w, ExportTSV).
-func (nw *Network) WriteTSV(w io.Writer) error { return nw.Export(w, ExportTSV) }
 
 func (nw *Network) writeDOT(w io.Writer) error {
 	var b strings.Builder

@@ -16,28 +16,16 @@ func exportNetwork(t *testing.T) *Network {
 	return nw
 }
 
-func TestExportMatchesDeprecatedWriters(t *testing.T) {
+func TestExportAllFormats(t *testing.T) {
 	nw := exportNetwork(t)
-	var viaExport, viaWriter bytes.Buffer
-	if err := nw.Export(&viaExport, ExportDOT); err != nil {
-		t.Fatal(err)
-	}
-	if err := nw.WriteDOT(&viaWriter); err != nil {
-		t.Fatal(err)
-	}
-	if viaExport.String() != viaWriter.String() {
-		t.Error("Export(DOT) and WriteDOT must agree")
-	}
-	viaExport.Reset()
-	viaWriter.Reset()
-	if err := nw.Export(&viaExport, ExportTSV); err != nil {
-		t.Fatal(err)
-	}
-	if err := nw.WriteTSV(&viaWriter); err != nil {
-		t.Fatal(err)
-	}
-	if viaExport.String() != viaWriter.String() {
-		t.Error("Export(TSV) and WriteTSV must agree")
+	for _, f := range []ExportFormat{ExportJSON, ExportDOT, ExportTSV} {
+		var buf bytes.Buffer
+		if err := nw.Export(&buf, f); err != nil {
+			t.Fatalf("Export(%v): %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("Export(%v) wrote nothing", f)
+		}
 	}
 }
 
@@ -69,19 +57,46 @@ func TestExportUnknownFormat(t *testing.T) {
 }
 
 func TestParseExportFormat(t *testing.T) {
-	for name, want := range map[string]ExportFormat{
-		"json": ExportJSON, "dot": ExportDOT, "tsv": ExportTSV, "JSON": ExportJSON,
-	} {
-		got, err := ParseExportFormat(name)
-		if err != nil || got != want {
-			t.Errorf("ParseExportFormat(%q) = %v, %v; want %v", name, got, err, want)
+	cases := []struct {
+		name    string
+		want    ExportFormat
+		wantErr bool
+	}{
+		{"json", ExportJSON, false},
+		{"dot", ExportDOT, false},
+		{"tsv", ExportTSV, false},
+		{"JSON", ExportJSON, false}, // case insensitive
+		{"Dot", ExportDOT, false},
+		{"xml", 0, true},
+		{"", 0, true},
+		{"jsonl", 0, true},
+		{"ExportFormat(99)", 0, true}, // unknown String() must NOT round-trip
+	}
+	for _, c := range cases {
+		got, err := ParseExportFormat(c.name)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseExportFormat(%q) should be rejected", c.name)
+				continue
+			}
+			// The error must name every valid format.
+			for _, valid := range []string{"json", "dot", "tsv"} {
+				if !strings.Contains(err.Error(), valid) {
+					t.Errorf("ParseExportFormat(%q) error %q does not list %q", c.name, err, valid)
+				}
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseExportFormat(%q) = %v, %v; want %v", c.name, got, err, c.want)
 		}
 	}
-	if _, err := ParseExportFormat("xml"); err == nil {
-		t.Error("xml must be rejected")
-	}
-	if ExportDOT.String() != "dot" || ExportJSON.String() != "json" || ExportTSV.String() != "tsv" {
-		t.Error("String() names wrong")
+	// String and ParseExportFormat round-trip for every defined format.
+	for _, f := range []ExportFormat{ExportJSON, ExportDOT, ExportTSV} {
+		back, err := ParseExportFormat(f.String())
+		if err != nil || back != f {
+			t.Errorf("round trip %v -> %q -> %v, %v", f, f.String(), back, err)
+		}
 	}
 	if !strings.HasPrefix(ExportFormat(99).String(), "ExportFormat(") {
 		t.Error("unknown format String() should be diagnostic")

@@ -1,0 +1,281 @@
+// Package store is a persistent content-addressed artifact store: a flat
+// key → bytes map on disk, bucketed by key prefix, with atomic writes and
+// an LRU size bound. cmd/coldd uses it to cache generated ensembles under
+// their canonical config hash — COLD is deterministic, so a cached
+// artifact is exactly what a fresh generation would produce, and a million
+// identical requests cost one run.
+//
+// Layout: <dir>/<key[:2]>/<key>, one file per artifact (the bucketed,
+// lazily opened shape of the onyx disk store, without its read-modify-
+// write cycle — artifacts are immutable, so Put is write-once-rename).
+// Writes go to a temp file in the bucket directory and are renamed into
+// place, so concurrent readers (and crashed writers) never observe a
+// partial artifact. Recency is persisted via file mtimes: a Get touches
+// its artifact, so the LRU survives restarts.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned by Get for keys with no stored artifact.
+var ErrNotFound = errors.New("store: artifact not found")
+
+// Options bound the store.
+type Options struct {
+	// MaxBytes is the LRU size bound: when the artifacts' total size
+	// exceeds it, least-recently-used artifacts are evicted until it fits
+	// (the artifact being written is never evicted by its own Put).
+	// Zero means unbounded.
+	MaxBytes int64
+}
+
+// Stats are the store's operation counters since Open.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	// Entries and Bytes describe current contents (0 until the index has
+	// been loaded by the first operation).
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+type entry struct {
+	size  int64
+	atime time.Time // recency; seeded from mtime, bumped on Get
+}
+
+// Store is a disk-backed artifact store. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	loaded  bool
+	entries map[string]*entry
+	size    int64
+	stats   Stats
+}
+
+// Open prepares a store rooted at dir, creating it if needed. The on-disk
+// index is loaded lazily on first use, so opening a large cold cache is
+// cheap.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxBytes < 0 {
+		return nil, fmt.Errorf("store: negative MaxBytes %d", opts.MaxBytes)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir, opts: opts, entries: make(map[string]*entry)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validKey reports whether key is safe as a file name in the bucketed
+// layout: at least 2 characters, all from [a-z0-9._-] (content hashes and
+// their suffixes), so keys can never traverse out of the store.
+func validKey(key string) bool {
+	if len(key) < 2 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key)
+}
+
+// load builds the in-memory index from disk on the first operation.
+// Callers hold s.mu.
+func (s *Store) load() error {
+	if s.loaded {
+		return nil
+	}
+	buckets, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, b := range buckets {
+		if !b.IsDir() || len(b.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, b.Name()))
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		for _, f := range files {
+			name := f.Name()
+			// Skip leftover temp files from crashed writers (and anything
+			// else that is not a valid bucketed key).
+			if f.IsDir() || !validKey(name) || name[:2] != b.Name() {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue // raced with an eviction or external delete
+			}
+			s.entries[name] = &entry{size: info.Size(), atime: info.ModTime()}
+			s.size += info.Size()
+		}
+	}
+	s.loaded = true
+	return nil
+}
+
+// Get returns the artifact stored under key, or ErrNotFound. A hit bumps
+// the key's recency (in memory and, best-effort, on disk via mtime).
+func (s *Store) Get(key string) ([]byte, error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("store: invalid key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	e, ok := s.entries[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, fmt.Errorf("store: %q: %w", key, ErrNotFound)
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		// The file vanished underneath the index (external cleanup):
+		// drop the entry and report a miss.
+		if errors.Is(err, os.ErrNotExist) {
+			s.dropLocked(key, e)
+			s.stats.Misses++
+			return nil, fmt.Errorf("store: %q: %w", key, ErrNotFound)
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	now := time.Now()
+	e.atime = now
+	_ = os.Chtimes(s.path(key), now, now) // best-effort: persists LRU order
+	s.stats.Hits++
+	return data, nil
+}
+
+// Has reports whether key is stored, without reading or touching it.
+func (s *Store) Has(key string) (bool, error) {
+	if !validKey(key) {
+		return false, fmt.Errorf("store: invalid key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.load(); err != nil {
+		return false, err
+	}
+	_, ok := s.entries[key]
+	return ok, nil
+}
+
+// Put stores data under key atomically: the artifact is written to a temp
+// file in the key's bucket and renamed into place, so readers only ever
+// see complete artifacts. Overwriting an existing key is allowed (the
+// content-addressed caller writes identical bytes anyway). Put then
+// evicts least-recently-used artifacts as needed to respect
+// Options.MaxBytes — never the artifact just written.
+func (s *Store) Put(key string, data []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.load(); err != nil {
+		return err
+	}
+	bucket := filepath.Join(s.dir, key[:2])
+	if err := os.MkdirAll(bucket, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(bucket, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()           //nolint:errcheck
+		os.Remove(tmp.Name()) //nolint:errcheck
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck
+		return fmt.Errorf("store: %w", err)
+	}
+	if old, ok := s.entries[key]; ok {
+		s.size -= old.size
+	}
+	s.entries[key] = &entry{size: int64(len(data)), atime: time.Now()}
+	s.size += int64(len(data))
+	s.stats.Puts++
+	s.evictLocked(key)
+	return nil
+}
+
+// dropLocked removes key from the in-memory index. Callers hold s.mu.
+func (s *Store) dropLocked(key string, e *entry) {
+	delete(s.entries, key)
+	s.size -= e.size
+}
+
+// evictLocked deletes least-recently-used artifacts until the store fits
+// Options.MaxBytes, sparing keep. Callers hold s.mu.
+func (s *Store) evictLocked(keep string) {
+	if s.opts.MaxBytes <= 0 || s.size <= s.opts.MaxBytes {
+		return
+	}
+	type cand struct {
+		key string
+		e   *entry
+	}
+	cands := make([]cand, 0, len(s.entries))
+	for k, e := range s.entries {
+		if k != keep {
+			cands = append(cands, cand{k, e})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].e.atime.Before(cands[j].e.atime) })
+	for _, c := range cands {
+		if s.size <= s.opts.MaxBytes {
+			return
+		}
+		if err := os.Remove(s.path(c.key)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			continue // keep it indexed; better oversize than inconsistent
+		}
+		s.dropLocked(c.key, c.e)
+		s.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the operation counters and current contents.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.size
+	return st
+}

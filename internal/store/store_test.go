@@ -1,0 +1,222 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "abcdef0123"
+	want := []byte("hello artifact")
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get before Put = %v, want ErrNotFound", err)
+	}
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("Get = %q, want %q", got, want)
+	}
+	ok, err := s.Has(key)
+	if err != nil || !ok {
+		t.Fatalf("Has = %v, %v; want true", ok, err)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 || st.Bytes != int64(len(want)) {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+func TestBucketedLayout(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("deadbeef", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "de", "deadbeef")); err != nil {
+		t.Fatalf("artifact not at bucketed path: %v", err)
+	}
+}
+
+func TestInvalidKeys(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "a", "UPPER", "has/slash", "../escape", "sp ace"} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", key)
+		}
+		if _, err := s.Get(key); err == nil {
+			t.Errorf("Get(%q) accepted an invalid key", key)
+		}
+	}
+}
+
+func TestPersistsAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("cafebabe", []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store over the same dir must index the artifact lazily.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get("cafebabe")
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("Get after reopen = %q, %v", got, err)
+	}
+}
+
+func TestIgnoresTempAndForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "ab"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed writer's temp file and a foreign file in the root.
+	if err := os.WriteFile(filepath.Join(dir, "ab", "tmp-123"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("abcd", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Entries != 1 {
+		t.Fatalf("index picked up junk: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxBytes: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("0123456789") // 10 bytes each
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("key%d-aaaa", i), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key0 so key1 becomes the LRU, then overflow.
+	if _, err := s.Get("key0-aaaa"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("key3-aaaa", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("key1-aaaa"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("LRU key1 should be evicted, got %v", err)
+	}
+	for _, k := range []string{"key0-aaaa", "key2-aaaa", "key3-aaaa"} {
+		if _, err := s.Get(k); err != nil {
+			t.Errorf("%s should survive eviction: %v", k, err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Bytes != 30 || st.Entries != 3 {
+		t.Fatalf("unexpected stats after eviction: %+v", st)
+	}
+}
+
+func TestEvictionNeverDropsJustPutKey(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{MaxBytes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oversized artifact: still stored (the bound evicts others, not it).
+	if err := s.Put("bigartifact", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("bigartifact"); err != nil {
+		t.Fatalf("just-put artifact evicted: %v", err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d-%d-pad", w, i%10)
+				val := strings.Repeat("x", 64)
+				if err := s.Put(key, []byte(val)); err != nil {
+					done <- err
+					return
+				}
+				if got, err := s.Get(key); err == nil && string(got) != val {
+					done <- fmt.Errorf("partial read %q", got)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRestartPreservesLRUOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("oldkey-aaa", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	// Backdate oldkey so a reopened index sees it as least recent even on
+	// filesystems with coarse mtime resolution.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, "ol", "oldkey-aaa"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("newkey-aaa", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{MaxBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Put("thirdkey-a", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get("oldkey-aaa"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest key should be evicted first after restart, got %v", err)
+	}
+}
