@@ -34,9 +34,12 @@ examples:
 
 # Fast telemetry-instrumented benchmark run writing machine-readable
 # results to BENCH_COLD.json (format: EXPERIMENTS.md). CI runs this and
-# uploads the file as a build artifact.
+# uploads the file as a build artifact. The zero-alloc pins run first:
+# the csr experiment's numbers are meaningless if the evaluation hot
+# path regressed into allocating, so fail fast on TestZeroAlloc.
 bench-smoke:
-	$(GO) run ./cmd/coldbench -trials 4 -n 16 -pop 24 -gens 12 -json BENCH_COLD.json ensemble breeding bases
+	$(GO) test ./internal/cost -run TestZeroAlloc -count=1
+	$(GO) run ./cmd/coldbench -trials 4 -n 16 -pop 24 -gens 12 -json BENCH_COLD.json ensemble breeding bases csr
 
 # Short fuzzing smoke on the evaluator equivalence targets (CI runs this;
 # crank -fuzztime locally for a real session). Corpora live under

@@ -8,7 +8,7 @@
 //	coldbench all
 //
 // Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9
-// brute context routers dijkstra bases extras ensemble breeding all.
+// brute context routers dijkstra csr bases extras ensemble breeding all.
 // Figures 5–7 share one sweep, as do 8b and 9, so requesting several of
 // them together reuses the runs.
 package main
@@ -54,10 +54,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		return fmt.Errorf("no experiment given; try: coldbench all (options: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 brute context routers dijkstra bases extras ensemble breeding)")
+		return fmt.Errorf("no experiment given; try: coldbench all (options: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 brute context routers dijkstra csr bases extras ensemble breeding)")
 	}
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9", "brute", "context", "routers", "dijkstra", "bases", "extras", "ensemble", "breeding"}
+		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9", "brute", "context", "routers", "dijkstra", "csr", "bases", "extras", "ensemble", "breeding"}
 	}
 
 	// Telemetry instruments the experiments that run through the public
@@ -150,6 +150,8 @@ func run(args []string, stdout io.Writer) error {
 			tables = []*experiments.Table{experiments.RouterSpread(o)}
 		case "dijkstra":
 			tables = []*experiments.Table{experiments.DijkstraKernels(o)}
+		case "csr":
+			tables = []*experiments.Table{experiments.CSRHotPath(o)}
 		case "bases":
 			tables = []*experiments.Table{experiments.Bases(o)}
 		case "extras":
@@ -236,6 +238,7 @@ func newBenchRecord(name string, o experiments.Options, elapsed time.Duration, b
 		"base_hits":    after.Eval.BaseHits - before.Eval.BaseHits,
 		"base_misses":  after.Eval.BaseMisses - before.Eval.BaseMisses,
 		"base_evict":   after.Eval.BaseEvictions - before.Eval.BaseEvictions,
+		"csr_builds":   after.Eval.CSRBuilds - before.Eval.CSRBuilds,
 	}
 	any := false
 	for _, v := range counters {

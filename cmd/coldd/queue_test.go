@@ -1,0 +1,69 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestQueueWaitCanceledAccounting is the regression test for canceled
+// slot waits polluting the average queue wait: a wait abandoned via
+// context cancellation must land in the canceled bucket, leaving
+// the successful-wait sum/count untouched.
+func TestQueueWaitCanceledAccounting(t *testing.T) {
+	q := newQueue(1, 4)
+
+	// Occupy the single slot so the next wait has to block.
+	if err := q.admit(); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if err := q.wait(context.Background()); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	ns, n, canceledNs, canceled := q.waitNs.snapshot()
+	if n != 1 || canceled != 0 {
+		t.Fatalf("after first wait: n=%d canceled=%d, want 1, 0", n, canceled)
+	}
+	baseNs := ns
+
+	// A second waiter gives up after a measurable delay; its wait time
+	// must not leak into the successful bucket.
+	if err := q.admit(); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := q.wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wait on full queue: err=%v, want deadline exceeded", err)
+	}
+	q.leave()
+
+	ns, n, canceledNs, canceled = q.waitNs.snapshot()
+	if n != 1 || ns != baseNs {
+		t.Fatalf("canceled wait leaked into success bucket: n=%d ns=%d, want n=1 ns=%d", n, ns, baseNs)
+	}
+	if canceled != 1 {
+		t.Fatalf("canceled waits = %d, want 1", canceled)
+	}
+	if canceledNs < (20 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("canceled wait ns = %d, want >= %d", canceledNs, (20 * time.Millisecond).Nanoseconds())
+	}
+
+	// Releasing the slot lets a third waiter through; only the success
+	// bucket moves.
+	q.release()
+	q.leave()
+	if err := q.admit(); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if err := q.wait(context.Background()); err != nil {
+		t.Fatalf("wait after release: %v", err)
+	}
+	q.release()
+	q.leave()
+	_, n, _, canceled = q.waitNs.snapshot()
+	if n != 2 || canceled != 1 {
+		t.Fatalf("final counts: n=%d canceled=%d, want 2, 1", n, canceled)
+	}
+}

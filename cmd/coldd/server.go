@@ -172,28 +172,35 @@ type statsResponse struct {
 	QueueFull          uint64 `json:"queue_full"`
 	Canceled           uint64 `json:"canceled"`
 	ActiveJobs         int    `json:"active_jobs"` // admitted: running + waiting
-	QueueWaitNs        int64  `json:"queue_wait_ns"`
-	QueueWaits         int64  `json:"queue_waits"`
+	// QueueWaitNs/QueueWaits cover only waits that won a slot; canceled
+	// (abandoned-while-queued) waits are reported separately so the average
+	// queue wait is not skewed by client patience.
+	QueueWaitNs         int64 `json:"queue_wait_ns"`
+	QueueWaits          int64 `json:"queue_waits"`
+	QueueCanceledWaitNs int64 `json:"queue_canceled_wait_ns"`
+	QueueCanceledWaits  int64 `json:"queue_canceled_waits"`
 
 	Store     store.Stats            `json:"store"`
 	Telemetry cold.TelemetrySnapshot `json:"telemetry"`
 }
 
 func (s *server) stats() statsResponse {
-	waitNs, waits := s.q.waitNs.snapshot()
+	waitNs, waits, canceledNs, canceledWaits := s.q.waitNs.snapshot()
 	return statsResponse{
-		Requests:           s.requests.Load(),
-		BadRequests:        s.badRequests.Load(),
-		CacheHits:          s.cacheHits.Load(),
-		CacheMisses:        s.cacheMisses.Load(),
-		SingleflightShared: s.sfShared.Load(),
-		Generations:        s.generations.Load(),
-		QueueFull:          s.queueFull.Load(),
-		Canceled:           s.canceled.Load(),
-		ActiveJobs:         s.q.depth(),
-		QueueWaitNs:        waitNs,
-		QueueWaits:         waits,
-		Store:              s.store.Stats(),
-		Telemetry:          s.tel.Snapshot(),
+		Requests:            s.requests.Load(),
+		BadRequests:         s.badRequests.Load(),
+		CacheHits:           s.cacheHits.Load(),
+		CacheMisses:         s.cacheMisses.Load(),
+		SingleflightShared:  s.sfShared.Load(),
+		Generations:         s.generations.Load(),
+		QueueFull:           s.queueFull.Load(),
+		Canceled:            s.canceled.Load(),
+		ActiveJobs:          s.q.depth(),
+		QueueWaitNs:         waitNs,
+		QueueWaits:          waits,
+		QueueCanceledWaitNs: canceledNs,
+		QueueCanceledWaits:  canceledWaits,
+		Store:               s.store.Stats(),
+		Telemetry:           s.tel.Snapshot(),
 	}
 }

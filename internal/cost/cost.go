@@ -158,11 +158,24 @@ type Evaluator struct {
 		done     []bool
 		order    []int32
 		acc      []float64
-		load     []float64 // n×n flattened link loads
+		load     []float64    // n×n flattened link loads
 		hnodes   []int32      // heap kernel: node storage
 		hpos     []int32      // heap kernel: position index
 		affected []bool       // delta path: per-source recompute marks
 		diff     []graph.Edge // delta path: edge-diff scratch
+	}
+
+	// csr is the flat-memory snapshot of the graph being evaluated: the
+	// adjacency in compressed-sparse-row form with edge lengths pre-resolved
+	// from the distance matrix. fillCSR rebuilds it in one bitset pass per
+	// evaluation; all n per-source Dijkstra runs (and sumCost) then walk
+	// flat slices instead of bitset closures and never chase distance-matrix
+	// row pointers. The buffers are pooled per Evaluator (cols/weights keep
+	// their high-water capacity), so steady-state evaluation is zero-alloc.
+	csr struct {
+		rowStart []int32   // n+1 row offsets
+		cols     []int32   // neighbor of each directed edge slot
+		weights  []float64 // dist[i][cols[k]] for each slot, aligned with cols
 	}
 
 	// delta is the retained base cache of the incremental path (see
@@ -246,6 +259,7 @@ func (e *Evaluator) initScratch() {
 	e.dj.order = make([]int32, n)
 	e.dj.acc = make([]float64, n)
 	e.dj.load = make([]float64, n*n)
+	e.csr.rowStart = make([]int32, n+1)
 	if e.useHeap {
 		e.dj.hnodes = make([]int32, 0, n)
 		e.dj.hpos = make([]int32, n)
@@ -330,40 +344,67 @@ func (e *Evaluator) computeCost(g *graph.Graph) float64 {
 	if !e.routeAndLoad(g, nil, false) {
 		c = math.Inf(1)
 	} else {
-		c = e.sumCost(g)
+		c = e.sumCost()
 	}
 	e.observe(span)
 	return c
 }
 
-// sumCost folds e.dj.load into the objective for g: Σ per-link costs plus
-// the k3 hub term. Both the full sweep and the delta path finish through
-// this one accumulation, so their totals are bit-identical whenever the
-// loads are.
-func (e *Evaluator) sumCost(g *graph.Graph) float64 {
+// sumCost folds e.dj.load into the objective: Σ per-link costs plus the k3
+// hub term, walking the CSR snapshot (which must hold the graph whose loads
+// fill e.dj.load — every caller routes through fillCSR first). The edge
+// lengths come pre-resolved from csr.weights, the iteration order matches
+// the old bitset walk (ascending i, ascending j within each row), and both
+// the full sweep and the delta path finish through this one accumulation,
+// so their totals are bit-identical whenever the loads are.
+func (e *Evaluator) sumCost() float64 {
 	p := e.params
 	var linkCost float64
 	core := 0
 	n := e.n
+	rowStart, cols, weights := e.csr.rowStart, e.csr.cols, e.csr.weights
+	load := e.dj.load
 	for i := 0; i < n; i++ {
-		deg := 0
-		g.EachNeighbor(i, func(j int) {
-			deg++
+		start, end := rowStart[i], rowStart[i+1]
+		for k := start; k < end; k++ {
+			j := int(cols[k])
 			if j > i {
-				l := e.dist[i][j]
-				w := e.dj.load[i*n+j]
+				l := weights[k]
+				w := load[i*n+j]
 				if e.linkCost != nil {
 					linkCost += e.linkCost(l, w)
 				} else {
 					linkCost += p.K0 + p.K1*l + p.K2*l*w
 				}
 			}
-		})
-		if deg > 1 {
+		}
+		if end-start > 1 {
 			core++
 		}
 	}
 	return linkCost + p.K3*float64(core)
+}
+
+// fillCSR rebuilds the pooled CSR snapshot for g: one bitset pass for the
+// columns, one flat pass resolving each slot's edge length from the
+// distance matrix. After it returns, the Dijkstra kernels and sumCost
+// operate on g without touching the Graph or the 2-D distance matrix.
+func (e *Evaluator) fillCSR(g *graph.Graph) {
+	c := &e.csr
+	c.cols = g.AppendCSR(c.rowStart, c.cols[:0])
+	m := len(c.cols)
+	if cap(c.weights) < m {
+		c.weights = make([]float64, m)
+	} else {
+		c.weights = c.weights[:m]
+	}
+	for i := 0; i < e.n; i++ {
+		row := e.dist[i]
+		for k := c.rowStart[i]; k < c.rowStart[i+1]; k++ {
+			c.weights[k] = row[c.cols[k]]
+		}
+	}
+	e.counters.csrBuilds.Inc()
 }
 
 // CostUncached computes the cost of g without touching the memoization
@@ -455,6 +496,7 @@ func (e *Evaluator) fillBreakdown(ev *Evaluation, g *graph.Graph) {
 func (e *Evaluator) routeAndLoad(g *graph.Graph, rt *Routing, record bool) bool {
 	e.counters.fullSweeps.Inc()
 	n := e.n
+	e.fillCSR(g)
 	load := e.dj.load
 	for i := range load {
 		load[i] = 0
@@ -464,7 +506,7 @@ func (e *Evaluator) routeAndLoad(g *graph.Graph, rt *Routing, record bool) bool 
 	}
 	connected := true
 	for s := 0; s < n; s++ {
-		reached := e.dijkstra(g, s)
+		reached := e.dijkstra(s)
 		if rt != nil {
 			rt.PathDist[s] = append([]float64(nil), e.dj.dist[:n]...)
 			rt.Parent[s] = append([]int32(nil), e.dj.parent[:n]...)
@@ -482,7 +524,7 @@ func (e *Evaluator) routeAndLoad(g *graph.Graph, rt *Routing, record bool) bool 
 		if !connected {
 			continue // loads are meaningless; still filling routing tables
 		}
-		e.pushLoads(s, e.dj.parent, e.dj.order)
+		e.pushLoads(s, e.dj.parent, e.dj.order[:reached])
 	}
 	return connected
 }
@@ -496,6 +538,13 @@ func (e *Evaluator) routeAndLoad(g *graph.Graph, rt *Routing, record bool) bool 
 // ascending source order, which keeps their floating-point sums
 // bit-identical.
 //
+// order must be exactly the finalized prefix of a Dijkstra run — order[:count]
+// with count the kernel's return value — and every caller must have verified
+// count == n first (loads over a partial tree are meaningless): the kernels
+// leave stale entries past count in their scratch after an early return on a
+// disconnected graph, and pushLoads trusts the slice bound it is handed
+// (TestScratchPoisoning proves nothing reads past it).
+//
 // The accumulator is seeded from the flattened demand matrix with one
 // bulk copy + clear instead of a branch-per-node loop; the backward tree
 // walk itself is inherently sequential (each node's total feeds its
@@ -505,7 +554,7 @@ func (e *Evaluator) pushLoads(s int, parent, order []int32) {
 	load, acc := e.dj.load, e.dj.acc
 	copy(acc[s+1:n], e.dflat[s*n+s+1:(s+1)*n])
 	clear(acc[:s+1])
-	for k := n - 1; k >= 1; k-- {
+	for k := len(order) - 1; k >= 1; k-- {
 		v := int(order[k])
 		if acc[v] == 0 {
 			continue
@@ -517,25 +566,30 @@ func (e *Evaluator) pushLoads(s int, parent, order []int32) {
 	}
 }
 
-// dijkstra computes shortest paths from src over the edges of g weighted by
-// physical distance, into the scratch buffers, dispatching to the kernel
-// selected by Options (linear scan below the heap threshold, indexed heap
-// above). Both kernels break ties toward lower node indices and are
-// bit-identical in distances, parents and finalization order. The
-// finalization order (increasing distance) is recorded in e.dj.order; the
-// return value is the number of reachable (finalized) nodes.
-func (e *Evaluator) dijkstra(g *graph.Graph, src int) int {
+// dijkstra computes shortest paths from src over the CSR snapshot (the
+// caller must have run fillCSR on the graph being evaluated), into the
+// scratch buffers, dispatching to the kernel selected by Options (linear
+// scan below the heap threshold, indexed heap above). Both kernels break
+// ties toward lower node indices and are bit-identical in distances,
+// parents and finalization order. The finalization order (increasing
+// distance) is recorded in e.dj.order; the return value is the number of
+// reachable (finalized) nodes — entries of e.dj.order past it are stale and
+// must not be read (consumers take order[:count]).
+func (e *Evaluator) dijkstra(src int) int {
 	if e.useHeap {
-		return e.dijkstraHeap(g, src)
+		return e.dijkstraHeap(src)
 	}
-	return e.dijkstraLinear(g, src)
+	return e.dijkstraLinear(src)
 }
 
 // dijkstraLinear is the array-based O(n²) kernel: for small PoP counts its
-// branch-free scan beats heap bookkeeping.
-func (e *Evaluator) dijkstraLinear(g *graph.Graph, src int) int {
+// branch-free scan beats heap bookkeeping. Edge relaxation walks the flat
+// CSR slices — neighbor ids and pre-resolved edge lengths side by side —
+// instead of per-row bitsets and distance-matrix rows.
+func (e *Evaluator) dijkstraLinear(src int) int {
 	n := e.n
 	dist, parent, done, order := e.dj.dist, e.dj.parent, e.dj.done, e.dj.order
+	rowStart, cols, weights := e.csr.rowStart, e.csr.cols, e.csr.weights
 	for i := 0; i < n; i++ {
 		dist[i] = math.Inf(1)
 		parent[i] = -1
@@ -551,19 +605,19 @@ func (e *Evaluator) dijkstraLinear(g *graph.Graph, src int) int {
 			}
 		}
 		if u < 0 {
-			return count // remaining nodes unreachable
+			return count // remaining nodes unreachable; order[count:] is stale
 		}
 		done[u] = true
 		order[count] = int32(u)
 		count++
 		du := dist[u]
-		row := e.dist[u]
-		g.EachNeighbor(u, func(v int) {
-			if nd := du + row[v]; nd < dist[v] {
+		for k := rowStart[u]; k < rowStart[u+1]; k++ {
+			v := cols[k]
+			if nd := du + weights[k]; nd < dist[v] {
 				dist[v] = nd
 				parent[v] = int32(u)
 			}
-		})
+		}
 	}
 	return count
 }
@@ -574,9 +628,10 @@ func (e *Evaluator) dijkstraLinear(g *graph.Graph, src int) int {
 // tests verify). Returns +Inf for disconnected graphs.
 func (e *Evaluator) RouteCost(g *graph.Graph) float64 {
 	n := e.n
+	e.fillCSR(g)
 	var total float64
 	for s := 0; s < n; s++ {
-		e.dijkstra(g, s)
+		e.dijkstra(s)
 		for d := s + 1; d < n; d++ {
 			if math.IsInf(e.dj.dist[d], 1) {
 				return math.Inf(1)

@@ -236,9 +236,10 @@ func (e *Evaluator) primeWorthwhile() bool {
 func (e *Evaluator) primeDelta(base *graph.Graph) bool {
 	e.counters.fullSweeps.Inc()
 	n := e.n
+	e.fillCSR(base)
 	e.delta.ensure(n)
 	for s := 0; s < n; s++ {
-		if e.dijkstra(base, s) != n {
+		if e.dijkstra(s) != n {
 			e.delta.finishRecord(e, base, false)
 			return false
 		}
@@ -305,6 +306,10 @@ func (e *Evaluator) evalDelta(ent *baseEntry, g *graph.Graph, changed []graph.Ed
 	if 2*e.deltaAffected(ent, g, changed) > n {
 		return false, false
 	}
+	// One CSR snapshot of g serves every re-routed source and the final
+	// sumCost; unaffected sources replay the base's recorded tables (always
+	// fully finalized — only connected sweeps are retained).
+	e.fillCSR(g)
 	load := e.dj.load
 	for i := range load {
 		load[i] = 0
@@ -312,13 +317,14 @@ func (e *Evaluator) evalDelta(ent *baseEntry, g *graph.Graph, changed []graph.Ed
 	aff := e.dj.affected
 	for s := 0; s < n; s++ {
 		if aff[s] {
-			if e.dijkstra(g, s) != n {
+			reached := e.dijkstra(s)
+			if reached != n {
 				if advance {
 					e.delta.drop(ent)
 				}
 				return false, true
 			}
-			e.pushLoads(s, e.dj.parent, e.dj.order)
+			e.pushLoads(s, e.dj.parent, e.dj.order[:reached])
 			if advance {
 				ent.copyFromScratch(e, s)
 			}
@@ -420,7 +426,7 @@ func (e *Evaluator) costDeltaUncached(base, g *graph.Graph) float64 {
 	}
 	e.deltaWon++
 	e.counters.deltaEvals.Inc()
-	c := e.sumCost(g)
+	c := e.sumCost() // evalDelta left the CSR snapshot holding g
 	e.observe(span)
 	return c
 }

@@ -2,8 +2,6 @@ package cost
 
 import (
 	"math"
-
-	"github.com/networksynth/cold/internal/graph"
 )
 
 // nodeHeap is an indexed binary min-heap of node ids keyed by the shared
@@ -90,13 +88,17 @@ func (h *nodeHeap) down(i int) {
 }
 
 // dijkstraHeap is the indexed-heap counterpart of dijkstraLinear: same
-// scratch buffers, same outputs (distances, parents, finalization order and
-// reached count), bit-identical by construction. O((n+m)·log n), which on
-// the GA's sparse candidates beats the linear scan's O(n²) once n clears
-// the heap threshold.
-func (e *Evaluator) dijkstraHeap(g *graph.Graph, src int) int {
+// scratch buffers, same CSR snapshot, same outputs (distances, parents,
+// finalization order and reached count), bit-identical by construction.
+// O((n+m)·log n), which on the GA's sparse candidates beats the linear
+// scan's O(n²) once n clears the heap threshold. Like the linear kernel it
+// relaxes edges over the flat CSR slices — no bitset closure, no
+// distance-matrix row chase. Entries of e.dj.order past the returned count
+// are stale on disconnected graphs; consumers take order[:count].
+func (e *Evaluator) dijkstraHeap(src int) int {
 	n := e.n
 	dist, parent, order, pos := e.dj.dist, e.dj.parent, e.dj.order, e.dj.hpos
+	rowStart, cols, weights := e.csr.rowStart, e.csr.cols, e.csr.weights
 	for i := 0; i < n; i++ {
 		dist[i] = math.Inf(1)
 		parent[i] = -1
@@ -111,18 +113,18 @@ func (e *Evaluator) dijkstraHeap(g *graph.Graph, src int) int {
 		order[count] = u
 		count++
 		du := dist[u]
-		row := e.dist[u]
-		g.EachNeighbor(int(u), func(v int) {
-			if nd := du + row[v]; nd < dist[v] {
+		for k := rowStart[u]; k < rowStart[u+1]; k++ {
+			v := cols[k]
+			if nd := du + weights[k]; nd < dist[v] {
 				dist[v] = nd
 				parent[v] = u
 				if pos[v] >= 0 {
-					h.decrease(int32(v))
+					h.decrease(v)
 				} else {
-					h.push(int32(v))
+					h.push(v)
 				}
 			}
-		})
+		}
 	}
 	e.dj.hnodes = h.nodes // keep the grown backing array for reuse
 	return count

@@ -63,7 +63,10 @@ const (
 type Options struct {
 	// Heap selects the per-source shortest-path kernel: Auto uses the
 	// indexed-heap Dijkstra for contexts with at least HeapThreshold PoPs
-	// and the linear scan below, ForceOn/ForceOff pin one kernel.
+	// and the linear scan below, ForceOn/ForceOff pin one kernel. Both
+	// kernels run over the same pooled CSR snapshot of the candidate graph
+	// (built once per evaluation, reused across all n sources), so the
+	// choice affects only the frontier-selection strategy.
 	Heap Switch
 
 	// HeapThreshold overrides the Auto cutover size; 0 means

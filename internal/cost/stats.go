@@ -77,6 +77,7 @@ const BaseDistBuckets = 17
 type evalCounters struct {
 	fullSweeps telemetry.Counter // all-sources Dijkstra sweeps, incl. delta priming
 	deltaEvals telemetry.Counter // successful incremental evaluations
+	csrBuilds  telemetry.Counter // CSR graph snapshots built (one per routed graph)
 	fallbacks  [numFallbackReasons]telemetry.Counter
 
 	// Multi-base routing-table cache (delta.go): a hit means a delta
@@ -142,6 +143,11 @@ type Stats struct {
 	// DeltaEvals counts evaluations served incrementally (re-routing only
 	// affected sources).
 	DeltaEvals uint64
+	// CSRBuilds counts flat-memory CSR graph snapshots built: one per full
+	// sweep, priming sweep, incremental evaluation and RouteCost call. The
+	// snapshot is pooled per evaluator, so this counts fills, not
+	// allocations.
+	CSRBuilds uint64
 	// Fallbacks counts delta-path requests that ran a full sweep instead,
 	// by reason.
 	Fallbacks FallbackCounts
@@ -180,6 +186,7 @@ func (e *Evaluator) Stats() Stats {
 		CacheMisses:   misses,
 		FullSweeps:    e.counters.fullSweeps.Load(),
 		DeltaEvals:    e.counters.deltaEvals.Load(),
+		CSRBuilds:     e.counters.csrBuilds.Load(),
 		BaseHits:      e.counters.baseHits.Load(),
 		BaseMisses:    e.counters.baseMisses.Load(),
 		BaseEvictions: e.counters.baseEvictions.Load(),

@@ -167,6 +167,33 @@ func (g *Graph) EachNeighbor(i int, fn func(j int)) {
 	}
 }
 
+// AppendCSR fills a compressed-sparse-row view of the adjacency into the
+// caller's buffers: rowStart must have length n+1 and receives the per-row
+// offsets (row i's neighbors live at cols[rowStart[i]:rowStart[i+1]], in
+// ascending order — the same order EachNeighbor visits); columns are
+// appended to cols (normally passed as buf[:0]) and the filled slice is
+// returned. One pass over the bitset, 2·|E| entries, no allocation once
+// cols has capacity — evaluation hot loops rebuild the view on pooled
+// buffers for every candidate.
+func (g *Graph) AppendCSR(rowStart []int32, cols []int32) []int32 {
+	if len(rowStart) != g.n+1 {
+		panic(fmt.Sprintf("graph: AppendCSR rowStart has length %d, want %d", len(rowStart), g.n+1))
+	}
+	for i := 0; i < g.n; i++ {
+		rowStart[i] = int32(len(cols))
+		row := g.bits[i*g.words : (i+1)*g.words]
+		for wi, w := range row {
+			base := wi * 64
+			for w != 0 {
+				cols = append(cols, int32(base+trailingZeros(w)))
+				w &= w - 1
+			}
+		}
+	}
+	rowStart[g.n] = int32(len(cols))
+	return cols
+}
+
 // Edge is an undirected edge with I < J.
 type Edge struct {
 	I, J int

@@ -568,3 +568,52 @@ func TestEdgesRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendCSR: the CSR view must list exactly EachNeighbor's visits — same
+// rows, same ascending order — reuse a passed buffer without reallocating
+// when capacity suffices, and enforce the rowStart length contract.
+func TestAppendCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var cols []int32
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomGraph(rng, n, []float64{0.05, 0.3, 0.9}[trial%3])
+		rowStart := make([]int32, n+1)
+		cols = g.AppendCSR(rowStart, cols[:0])
+		if len(cols) != 2*g.NumEdges() {
+			t.Fatalf("n=%d: %d CSR slots, want %d", n, len(cols), 2*g.NumEdges())
+		}
+		if rowStart[0] != 0 || rowStart[n] != int32(len(cols)) {
+			t.Fatalf("rowStart bounds = %d..%d, want 0..%d", rowStart[0], rowStart[n], len(cols))
+		}
+		for i := 0; i < n; i++ {
+			var want []int32
+			g.EachNeighbor(i, func(j int) { want = append(want, int32(j)) })
+			got := cols[rowStart[i]:rowStart[i+1]]
+			if len(got) != len(want) {
+				t.Fatalf("row %d: %d cols, want %d", i, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("row %d slot %d: col %d, want %d", i, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestAppendCSRReuseAndPanic(t *testing.T) {
+	g := Complete(6)
+	rowStart := make([]int32, 7)
+	cols := g.AppendCSR(rowStart, nil)
+	again := g.AppendCSR(rowStart, cols[:0])
+	if &again[0] != &cols[0] {
+		t.Fatal("AppendCSR reallocated despite sufficient capacity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short rowStart should panic")
+		}
+	}()
+	g.AppendCSR(make([]int32, 3), nil)
+}

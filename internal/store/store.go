@@ -37,6 +37,13 @@ type Options struct {
 }
 
 // Stats are the store's operation counters since Open.
+//
+// Accounting contract: every lookup — Get or Has — counts exactly one hit
+// or one miss. An invalid key can never be stored, so looking one up is a
+// miss (alongside its error), not an uncounted early return; I/O failures
+// other than a vanished artifact count nothing, since they say nothing
+// about presence. Hits/Misses therefore sum to total lookups, making
+// hit-rate math safe for callers that probe with Has before Get.
 type Stats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
@@ -142,9 +149,14 @@ func (s *Store) load() error {
 }
 
 // Get returns the artifact stored under key, or ErrNotFound. A hit bumps
-// the key's recency (in memory and, best-effort, on disk via mtime).
+// the key's recency (in memory and, best-effort, on disk via mtime). Every
+// Get counts a hit or a miss per the Stats accounting contract — including
+// invalid keys, which are misses by definition.
 func (s *Store) Get(key string) ([]byte, error) {
 	if !validKey(key) {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
 		return nil, fmt.Errorf("store: invalid key %q", key)
 	}
 	s.mu.Lock()
@@ -175,9 +187,14 @@ func (s *Store) Get(key string) ([]byte, error) {
 	return data, nil
 }
 
-// Has reports whether key is stored, without reading or touching it.
+// Has reports whether key is stored, without reading it or bumping its
+// recency. Like Get, each Has counts one hit or miss (invalid keys miss),
+// so Hits+Misses stays the total lookup count across both methods.
 func (s *Store) Has(key string) (bool, error) {
 	if !validKey(key) {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
 		return false, fmt.Errorf("store: invalid key %q", key)
 	}
 	s.mu.Lock()
@@ -185,8 +202,12 @@ func (s *Store) Has(key string) (bool, error) {
 	if err := s.load(); err != nil {
 		return false, err
 	}
-	_, ok := s.entries[key]
-	return ok, nil
+	if _, ok := s.entries[key]; ok {
+		s.stats.Hits++
+		return true, nil
+	}
+	s.stats.Misses++
+	return false, nil
 }
 
 // Put stores data under key atomically: the artifact is written to a temp

@@ -34,9 +34,68 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("Has = %v, %v; want true", ok, err)
 	}
+	// Get-miss, Get-hit, Has-hit: per the accounting contract, Has counts
+	// a lookup too.
 	st := s.Stats()
-	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 || st.Bytes != int64(len(want)) {
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 || st.Bytes != int64(len(want)) {
 		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+// TestLookupAccounting pins the Stats contract: every Get and Has counts
+// exactly one hit or miss — invalid keys included — so Hits+Misses equals
+// total lookups.
+func TestLookupAccounting(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("feedface", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	lookups := 0
+	get := func(key string) {
+		s.Get(key) //nolint:errcheck
+		lookups++
+	}
+	has := func(key string) {
+		s.Has(key) //nolint:errcheck
+		lookups++
+	}
+	get("feedface")  // hit
+	get("absentkey") // miss
+	get("NOT/valid") // invalid key: miss, not an uncounted error
+	has("feedface")  // hit
+	has("absentkey") // miss
+	has("NOT/valid") // invalid key: miss
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 4 {
+		t.Fatalf("hits=%d misses=%d, want 2, 4", st.Hits, st.Misses)
+	}
+	if int(st.Hits+st.Misses) != lookups {
+		t.Fatalf("hits+misses = %d, want %d lookups", st.Hits+st.Misses, lookups)
+	}
+	// Has must not bump recency: under a tight LRU bound, a key probed
+	// only by Has is still the eviction victim.
+	s2, err := Open(t.TempDir(), Options{MaxBytes: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Put("victim-key", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // separate atimes
+	if err := s2.Put("keeper-key", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s2.Has("victim-key"); err != nil || !ok {
+		t.Fatalf("Has(victim-key) = %v, %v", ok, err)
+	}
+	if err := s2.Put("newest-key", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get("victim-key"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Has bumped recency: victim survived eviction (err=%v)", err)
 	}
 }
 

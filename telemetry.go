@@ -27,6 +27,9 @@ type EvalStats struct {
 	FullSweeps uint64 `json:"full_sweeps"`
 	// DeltaEvals counts evaluations served incrementally.
 	DeltaEvals uint64 `json:"delta_evals"`
+	// CSRBuilds counts flat-memory CSR graph snapshots built (one per
+	// routed graph; the buffers themselves are pooled per evaluator).
+	CSRBuilds uint64 `json:"csr_builds"`
 	// Fallbacks counts delta requests that ran a full sweep instead, keyed
 	// by reason: "disabled", "budget", "base", "reconcile", "policy",
 	// "affected", "disconnected". Zero-count reasons are omitted.
@@ -54,6 +57,7 @@ func newEvalStats(s cost.Stats) EvalStats {
 		CacheMisses:   s.CacheMisses,
 		FullSweeps:    s.FullSweeps,
 		DeltaEvals:    s.DeltaEvals,
+		CSRBuilds:     s.CSRBuilds,
 		Fallbacks:     s.Fallbacks.Map(),
 		BaseHits:      s.BaseHits,
 		BaseMisses:    s.BaseMisses,
@@ -81,6 +85,7 @@ func (a *EvalStats) add(s cost.Stats) {
 	a.CacheMisses += s.CacheMisses
 	a.FullSweeps += s.FullSweeps
 	a.DeltaEvals += s.DeltaEvals
+	a.CSRBuilds += s.CSRBuilds
 	a.BaseHits += s.BaseHits
 	a.BaseMisses += s.BaseMisses
 	a.BaseEvictions += s.BaseEvictions
