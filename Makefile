@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check examples bench bench-smoke fuzz ensemble coldd-smoke
+.PHONY: build test vet race check examples bench bench-smoke fuzz ensemble coldd-smoke validate-smoke
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,20 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/cost -run '^$$' -fuzz FuzzDijkstraEquivalence -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cost -run '^$$' -fuzz FuzzEvaluateDelta -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/validate -run '^$$' -fuzz FuzzDistances -fuzztime $(FUZZTIME)
+
+# Ensemble-scale validation smoke: the determinism/self-comparison pins
+# first (byte-identical records and scorecard at Parallelism 1 vs 8, the
+# golden schema fixtures), then a real 1000-topology characterization run
+# through coldbench, streaming every per-topology record to
+# VALIDATE_COLD.jsonl (schema: EXPERIMENTS.md). CI runs this and uploads
+# the records file as a build artifact. The tiny GA keeps the run to a
+# couple of minutes; memory stays bounded by the pipeline window
+# regardless of count.
+validate-smoke:
+	$(GO) test ./internal/validate -run 'TestPipelineDeterministic|TestSelfScorecard|TestGolden' -count=1
+	$(GO) run ./cmd/coldbench -trials 2 -n 10 -pop 12 -gens 8 -bootstrap 200 \
+		-validate-count 1000 -validate-records VALIDATE_COLD.jsonl validate
 
 # End-to-end smoke of the coldd generation service: builds the real
 # binary, starts it on a free port, POSTs the same config twice and

@@ -8,7 +8,8 @@
 //	coldbench all
 //
 // Experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9
-// brute context routers dijkstra csr bases extras ensemble breeding all.
+// brute context routers dijkstra csr bases extras ensemble breeding
+// validate all.
 // Figures 5–7 share one sweep, as do 8b and 9, so requesting several of
 // them together reuses the runs.
 package main
@@ -47,6 +48,8 @@ func run(args []string, stdout io.Writer) error {
 	fs.IntVar(&o.Bootstrap, "bootstrap", d.Bootstrap, "bootstrap resamples for CIs")
 	fs.Int64Var(&o.Seed, "seed", d.Seed, "master seed")
 	jsonOut := fs.String("json", "", "write machine-readable results to this file (e.g. BENCH_COLD.json; format in EXPERIMENTS.md)")
+	validateCount := fs.Int("validate-count", 1000, "COLD ensemble size for the validate experiment")
+	validateRecords := fs.String("validate-records", "", "write the validate experiment's per-topology JSONL records to this file (e.g. VALIDATE_COLD.jsonl)")
 	trace := fs.String("trace", "", "write a JSONL telemetry trace to this file (see DESIGN.md, Telemetry)")
 	metricsAddr := fs.String("metrics", "", "serve live expvar + pprof on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
@@ -54,10 +57,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		return fmt.Errorf("no experiment given; try: coldbench all (options: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 brute context routers dijkstra csr bases extras ensemble breeding)")
+		return fmt.Errorf("no experiment given; try: coldbench all (options: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8a fig8b fig9 brute context routers dijkstra csr bases extras ensemble breeding validate)")
 	}
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9", "brute", "context", "routers", "dijkstra", "csr", "bases", "extras", "ensemble", "breeding"}
+		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9", "brute", "context", "routers", "dijkstra", "csr", "bases", "extras", "ensemble", "breeding", "validate"}
 	}
 
 	// Telemetry instruments the experiments that run through the public
@@ -168,6 +171,12 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			tables = []*experiments.Table{t}
+		case "validate":
+			var err error
+			tables, err = runValidate(o, *validateCount, *validateRecords)
+			if err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -264,6 +273,33 @@ func writeBenchJSON(path string, o experiments.Options, records []benchRecord) e
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// runValidate runs the ensemble-scale validation experiment, optionally
+// streaming every per-topology JSONL record to recordsPath.
+func runValidate(o experiments.Options, count int, recordsPath string) ([]*experiments.Table, error) {
+	if recordsPath == "" {
+		tables, _, err := experiments.Validate(o, count, nil)
+		return tables, err
+	}
+	f, err := os.Create(recordsPath)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(f)
+	tables, _, err := experiments.Validate(o, count, bw)
+	if err != nil {
+		f.Close() //nolint:errcheck
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close() //nolint:errcheck
+		return nil, fmt.Errorf("validate records: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("validate records: %w", err)
+	}
+	return tables, nil
 }
 
 // ensembleThroughput times the parallel ensemble engine against the serial

@@ -140,3 +140,34 @@ func TestRunJSONOutput(t *testing.T) {
 		t.Fatalf("ensemble counters missing: %+v", ec)
 	}
 }
+
+func TestRunValidateExperiment(t *testing.T) {
+	records := filepath.Join(t.TempDir(), "VALIDATE_COLD.jsonl")
+	var out bytes.Buffer
+	args := append(fastFlags, "-validate-count", "6", "-validate-records", records, "validate")
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Ensemble characterization", "Validation scorecards", "-- validate done"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output:\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 cold + 250 zoo + 250 er + 250 ba records, one JSON object per line.
+	lines := bytes.Count(data, []byte("\n"))
+	if want := 6 + 3*250; lines != want {
+		t.Errorf("%d record lines, want %d", lines, want)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(data[:bytes.IndexByte(data, '\n')], &rec); err != nil {
+		t.Fatalf("first record not JSON: %v", err)
+	}
+	if rec["source"] != "cold" {
+		t.Errorf("first record source = %v, want cold", rec["source"])
+	}
+}

@@ -1,0 +1,189 @@
+package metrics
+
+// Degenerate-input audit for the metric functions the streaming validation
+// pipeline (internal/validate) calls on every topology. The pipeline feeds
+// whatever a source emits — including trivial (n <= 2), zero-edge and
+// disconnected graphs — so every function here must return its documented
+// sentinel (NaN, -1, 0) instead of panicking, and the sentinels must stay
+// stable: internal/validate maps NaN/-1 to JSON null / skipped samples and
+// a silent change would corrupt ensemble aggregates.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/networksynth/cold/internal/graph"
+)
+
+func build(n int, edges ...[2]int) *graph.Graph {
+	g := graph.New(n)
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// degenerateCases covers the corners the pipeline can see: the empty graph,
+// isolated nodes, a single edge, zero-edge graphs and disconnected graphs.
+var degenerateCases = []struct {
+	name  string
+	g     *graph.Graph
+	want  Summary // NaN fields compared via IsNaN
+	bcSum float64 // expected total node betweenness
+}{
+	{
+		name: "empty",
+		g:    build(0),
+		want: Summary{N: 0, Edges: 0, AverageDegree: nan, DegreeCV: nan, Diameter: 0,
+			Clustering: 0, Hubs: 0, Leaves: 0, AvgPathLen: nan, Assortativity: nan, SMetric: 0},
+	},
+	{
+		name: "single-node",
+		g:    build(1),
+		want: Summary{N: 1, Edges: 0, AverageDegree: 0, DegreeCV: nan, Diameter: 0,
+			Clustering: 0, Hubs: 0, Leaves: 0, AvgPathLen: nan, Assortativity: nan, SMetric: 0},
+	},
+	{
+		name: "two-isolated",
+		g:    build(2),
+		want: Summary{N: 2, Edges: 0, AverageDegree: 0, DegreeCV: nan, Diameter: -1,
+			Clustering: 0, Hubs: 0, Leaves: 0, AvgPathLen: nan, Assortativity: nan, SMetric: 0},
+	},
+	{
+		name: "single-edge",
+		g:    build(2, [2]int{0, 1}),
+		want: Summary{N: 2, Edges: 1, AverageDegree: 1, DegreeCV: 0, Diameter: 1,
+			Clustering: 0, Hubs: 0, Leaves: 2, AvgPathLen: 1, Assortativity: nan, SMetric: 1},
+	},
+	{
+		name: "zero-edge-5",
+		g:    build(5),
+		want: Summary{N: 5, Edges: 0, AverageDegree: 0, DegreeCV: nan, Diameter: -1,
+			Clustering: 0, Hubs: 0, Leaves: 0, AvgPathLen: nan, Assortativity: nan, SMetric: 0},
+	},
+	{
+		name: "two-triangles",
+		g: build(6, [2]int{0, 1}, [2]int{1, 2}, [2]int{0, 2},
+			[2]int{3, 4}, [2]int{4, 5}, [2]int{3, 5}),
+		want: Summary{N: 6, Edges: 6, AverageDegree: 2, DegreeCV: 0, Diameter: -1,
+			Clustering: 1, Hubs: 6, Leaves: 0, AvgPathLen: nan, Assortativity: nan, SMetric: 24},
+	},
+	{
+		name: "edge-plus-isolated",
+		g:    build(3, [2]int{0, 1}),
+		want: Summary{N: 3, Edges: 1, AverageDegree: 2.0 / 3, DegreeCV: math.Sqrt(3) / 2, Diameter: -1,
+			Clustering: 0, Hubs: 0, Leaves: 2, AvgPathLen: nan, Assortativity: nan, SMetric: 1},
+	},
+}
+
+var nan = math.NaN()
+
+func eqOrBothNaN(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) < 1e-12
+}
+
+func TestDegenerateSummaries(t *testing.T) {
+	for _, tc := range degenerateCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Summarize(tc.g)
+			checks := []struct {
+				field     string
+				got, want float64
+			}{
+				{"AverageDegree", got.AverageDegree, tc.want.AverageDegree},
+				{"DegreeCV", got.DegreeCV, tc.want.DegreeCV},
+				{"Clustering", got.Clustering, tc.want.Clustering},
+				{"AvgPathLen", got.AvgPathLen, tc.want.AvgPathLen},
+				{"Assortativity", got.Assortativity, tc.want.Assortativity},
+				{"SMetric", got.SMetric, tc.want.SMetric},
+			}
+			for _, c := range checks {
+				if !eqOrBothNaN(c.got, c.want) {
+					t.Errorf("%s = %v, want %v", c.field, c.got, c.want)
+				}
+			}
+			if got.N != tc.want.N || got.Edges != tc.want.Edges ||
+				got.Diameter != tc.want.Diameter ||
+				got.Hubs != tc.want.Hubs || got.Leaves != tc.want.Leaves {
+				t.Errorf("integer fields = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDegenerateBetweenness pins that Brandes' accumulation never divides by
+// zero or panics on trivial/disconnected input and yields all-finite values.
+func TestDegenerateBetweenness(t *testing.T) {
+	for _, tc := range degenerateCases {
+		t.Run(tc.name, func(t *testing.T) {
+			nb := NodeBetweenness(tc.g)
+			if len(nb) != tc.g.N() {
+				t.Fatalf("len(NodeBetweenness) = %d, want %d", len(nb), tc.g.N())
+			}
+			for i, v := range nb {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Errorf("NodeBetweenness[%d] = %v, want finite non-negative", i, v)
+				}
+			}
+			eb := EdgeBetweenness(tc.g)
+			if len(eb) != tc.g.NumEdges() {
+				t.Fatalf("len(EdgeBetweenness) = %d, want %d", len(eb), tc.g.NumEdges())
+			}
+			for i, v := range eb {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Errorf("EdgeBetweenness[%d] = %v, want finite non-negative", i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestPathStatsMatchesIndividual proves the fused single-sweep PathStats is
+// exactly Diameter + AveragePathLength on randomized graphs, including
+// disconnected ones.
+func TestPathStatsMatchesIndividual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(20)
+		g := graph.New(n)
+		p := rng.Float64() * 0.4 // sparse enough to hit disconnected often
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		dia, apl := PathStats(g)
+		if wantDia := Diameter(g); dia != wantDia {
+			t.Fatalf("trial %d (n=%d): PathStats diameter %d, Diameter %d", trial, n, dia, wantDia)
+		}
+		wantAPL := func() float64 {
+			// Reference implementation: direct pair scan.
+			if n < 2 {
+				return math.NaN()
+			}
+			var total float64
+			for s := 0; s < n; s++ {
+				hops := g.BFSHops(s)
+				for d := s + 1; d < n; d++ {
+					if hops[d] < 0 {
+						return math.NaN()
+					}
+					total += float64(hops[d])
+				}
+			}
+			return total / float64(n*(n-1)/2)
+		}()
+		if !eqOrBothNaN(apl, wantAPL) {
+			t.Fatalf("trial %d (n=%d): PathStats avg path %v, want %v", trial, n, apl, wantAPL)
+		}
+		if got := AveragePathLength(g); !eqOrBothNaN(got, wantAPL) {
+			t.Fatalf("trial %d (n=%d): AveragePathLength %v, want %v", trial, n, got, wantAPL)
+		}
+	}
+}

@@ -74,21 +74,36 @@ func Diameter(g *graph.Graph) int {
 // AveragePathLength returns the mean hop count over all distinct node
 // pairs, or NaN if disconnected or fewer than two nodes.
 func AveragePathLength(g *graph.Graph) float64 {
+	_, apl := PathStats(g)
+	return apl
+}
+
+// PathStats returns Diameter and AveragePathLength from a single all-sources
+// BFS sweep — the streaming validation pipeline calls both per topology, and
+// the separate functions would each pay the full O(n·m) traversal.
+// Disconnected graphs return (-1, NaN); graphs with fewer than two nodes
+// return (0, NaN), matching the individual functions exactly.
+func PathStats(g *graph.Graph) (diameter int, avgPathLen float64) {
 	n := g.N()
-	if n < 2 {
-		return math.NaN()
+	if n <= 1 {
+		return 0, math.NaN()
 	}
+	maxHops := 0
 	var total float64
 	for s := 0; s < n; s++ {
-		hops := g.BFSHops(s)
-		for d := s + 1; d < n; d++ {
-			if hops[d] < 0 {
-				return math.NaN()
+		for d, h := range g.BFSHops(s) {
+			if h < 0 {
+				return -1, math.NaN()
 			}
-			total += float64(hops[d])
+			if h > maxHops {
+				maxHops = h
+			}
+			if d > s {
+				total += float64(h)
+			}
 		}
 	}
-	return total / float64(n*(n-1)/2)
+	return maxHops, total / float64(n*(n-1)/2)
 }
 
 // GlobalClustering returns the global clustering coefficient: three times
@@ -299,16 +314,17 @@ type Summary struct {
 
 // Summarize computes a Summary for g.
 func Summarize(g *graph.Graph) Summary {
+	dia, apl := PathStats(g)
 	return Summary{
 		N:             g.N(),
 		Edges:         g.NumEdges(),
 		AverageDegree: AverageDegree(g),
 		DegreeCV:      DegreeCV(g),
-		Diameter:      Diameter(g),
+		Diameter:      dia,
 		Clustering:    GlobalClustering(g),
 		Hubs:          NumHubs(g),
 		Leaves:        NumLeaves(g),
-		AvgPathLen:    AveragePathLength(g),
+		AvgPathLen:    apl,
 		Assortativity: Assortativity(g),
 		SMetric:       SMetric(g),
 	}

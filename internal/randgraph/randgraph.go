@@ -174,14 +174,19 @@ func BarabasiAlbert(n, m int, rng *rand.Rand) (*graph.Graph, error) {
 	}
 	for v := seed; v < n; v++ {
 		attached := make(map[int]bool, m)
-		for len(attached) < m {
+		// Targets must be recorded in acceptance order, not map order: the
+		// stubs list is the sampling distribution for every later node, so
+		// iterating the map here made equal rngs produce different graphs.
+		targets := make([]int, 0, m)
+		for len(targets) < m {
 			t := stubs[rng.Intn(len(stubs))]
 			if t == v || attached[t] {
 				continue
 			}
 			attached[t] = true
+			targets = append(targets, t)
 		}
-		for t := range attached {
+		for _, t := range targets {
 			g.AddEdge(v, t)
 			stubs = append(stubs, v, t)
 		}

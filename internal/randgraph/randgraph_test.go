@@ -256,3 +256,24 @@ func TestBarabasiAlbertEdgeCases(t *testing.T) {
 		t.Errorf("n smaller than seed mishandled: %v", g)
 	}
 }
+
+// TestBarabasiAlbertDeterministic pins that equal rng seeds give identical
+// graphs. The old implementation appended attachment targets in map
+// iteration order, which perturbed the stub list — the sampling
+// distribution for every later node — so repeated runs diverged.
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	build := func() *graph.Graph {
+		g, err := BarabasiAlbert(60, 2, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	ref := build()
+	for i := 0; i < 20; i++ {
+		g := build()
+		if ref.DiffCount(g) != 0 {
+			t.Fatalf("run %d: BA graph differs under an identical seed", i)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package validate
+
+import (
+	"math"
+	"sort"
+)
+
+// Dist1K returns the total-variation distance between two degree
+// distributions (maps degree → node count): half the L1 distance between
+// the normalized distributions. It is symmetric, zero iff the normalized
+// distributions are equal, and bounded in [0, 1]. Two empty distributions
+// are at distance 0; an empty versus a non-empty distribution is at the
+// maximum distance 1.
+func Dist1K(p, q map[int]int) float64 {
+	keys := make([]int, 0, len(p)+len(q))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	for k := range q {
+		if _, dup := p[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	np, nq := totalInt(p), totalInt(q)
+	switch {
+	case np == 0 && nq == 0:
+		return 0
+	case np == 0 || nq == 0:
+		return 1
+	}
+	// Fixed key order: float accumulation order must not depend on map
+	// iteration, or scorecard bytes would change run to run.
+	var sum float64
+	for _, k := range keys {
+		sum += math.Abs(float64(p[k])/float64(np) - float64(q[k])/float64(nq))
+	}
+	return clamp01(sum / 2)
+}
+
+// Dist2K is Dist1K over joint-degree distributions (maps sorted endpoint
+// degree pair → edge count), the 2K statistic of the dK-series.
+func Dist2K(p, q map[[2]int]int) float64 {
+	keys := make([][2]int, 0, len(p)+len(q))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	for k := range q {
+		if _, dup := p[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	np, nq := totalPair(p), totalPair(q)
+	switch {
+	case np == 0 && nq == 0:
+		return 0
+	case np == 0 || nq == 0:
+		return 1
+	}
+	var sum float64
+	for _, k := range keys {
+		sum += math.Abs(float64(p[k])/float64(np) - float64(q[k])/float64(nq))
+	}
+	return clamp01(sum / 2)
+}
+
+func totalInt(m map[int]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func totalPair(m map[[2]int]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// clamp01 absorbs float round-off at the boundaries so the documented
+// [0, 1] bound is exact.
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// ksStat returns the two-sample Kolmogorov–Smirnov statistic
+// sup_x |F_a(x) − F_b(x)| over the finite samples a and b, or NaN if
+// either sample is empty. Deterministic: sorted-merge walk, no rng.
+func ksStat(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.NaN()
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	na, nb := float64(len(as)), float64(len(bs))
+	var i, j int
+	var d float64
+	for i < len(as) && j < len(bs) {
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	return clamp01(d)
+}

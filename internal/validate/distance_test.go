@@ -1,0 +1,115 @@
+package validate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDist1KProperties(t *testing.T) {
+	a := map[int]int{1: 4, 2: 3, 3: 1}
+	b := map[int]int{1: 1, 2: 1, 5: 2}
+	if d := Dist1K(a, a); d != 0 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+	if d1, d2 := Dist1K(a, b), Dist1K(b, a); d1 != d2 {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+	if d := Dist1K(a, b); d < 0 || d > 1 {
+		t.Errorf("distance %v out of [0,1]", d)
+	}
+	// Disjoint supports are maximally distant.
+	if d := Dist1K(map[int]int{1: 5}, map[int]int{2: 5}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("disjoint distance = %v, want 1", d)
+	}
+	// Scale invariance: distances compare normalized distributions.
+	scaled := map[int]int{1: 40, 2: 30, 3: 10}
+	if d := Dist1K(a, scaled); d != 0 {
+		t.Errorf("scaled-self distance = %v, want 0", d)
+	}
+	if d := Dist1K(nil, nil); d != 0 {
+		t.Errorf("empty-empty = %v, want 0", d)
+	}
+	if d := Dist1K(a, nil); d != 1 {
+		t.Errorf("nonempty-empty = %v, want 1", d)
+	}
+}
+
+func TestDist2KProperties(t *testing.T) {
+	a := map[[2]int]int{{1, 2}: 3, {2, 2}: 1}
+	b := map[[2]int]int{{1, 2}: 1, {3, 4}: 2}
+	if d := Dist2K(a, a); d != 0 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+	if d1, d2 := Dist2K(a, b), Dist2K(b, a); d1 != d2 {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+	if d := Dist2K(a, b); d < 0 || d > 1 {
+		t.Errorf("distance %v out of [0,1]", d)
+	}
+	if d := Dist2K(nil, nil); d != 0 {
+		t.Errorf("empty-empty = %v, want 0", d)
+	}
+	if d := Dist2K(nil, b); d != 1 {
+		t.Errorf("empty-nonempty = %v, want 1", d)
+	}
+}
+
+func TestKSStat(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5}
+	if d := ksStat(same, same); d != 0 {
+		t.Errorf("self KS = %v, want 0", d)
+	}
+	lo := []float64{1, 2, 3}
+	hi := []float64{10, 11, 12}
+	if d := ksStat(lo, hi); math.Abs(d-1) > 1e-12 {
+		t.Errorf("separated KS = %v, want 1", d)
+	}
+	if d1, d2 := ksStat(lo, hi), ksStat(hi, lo); d1 != d2 {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+	if d := ksStat(nil, lo); !math.IsNaN(d) {
+		t.Errorf("empty-side KS = %v, want NaN", d)
+	}
+	// Overlapping samples: statistic strictly between 0 and 1.
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, 200)
+	y := make([]float64, 300)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64() + 0.3
+	}
+	if d := ksStat(x, y); d <= 0 || d >= 1 {
+		t.Errorf("overlapping-normal KS = %v, want in (0,1)", d)
+	}
+}
+
+// TestDistancesDeterministic pins the sorted-key accumulation: repeated
+// calls on maps built in different insertion orders give identical floats.
+func TestDistancesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := make(map[int]int)
+	b := make(map[int]int)
+	for i := 0; i < 50; i++ {
+		a[rng.Intn(20)] += 1 + rng.Intn(5)
+		b[rng.Intn(20)] += 1 + rng.Intn(5)
+	}
+	want := Dist1K(a, b)
+	for i := 0; i < 20; i++ {
+		// Rebuild in a shuffled insertion order.
+		a2 := make(map[int]int)
+		keys := make([]int, 0, len(a))
+		for k := range a {
+			keys = append(keys, k)
+		}
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		for _, k := range keys {
+			a2[k] = a[k]
+		}
+		if got := Dist1K(a2, b); got != want {
+			t.Fatalf("iteration %d: distance %v != %v", i, got, want)
+		}
+	}
+}

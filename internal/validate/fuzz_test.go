@@ -1,0 +1,87 @@
+package validate
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeDists deterministically splits a fuzz byte string into two small
+// integer-count distributions: each byte contributes one (key, count) entry,
+// alternating between the two distributions. The decode keeps keys and
+// counts tiny so the fuzzer explores collisions and empty sides rather than
+// huge maps.
+func decodeDists(data []byte) (p, q map[int]int) {
+	p = make(map[int]int)
+	q = make(map[int]int)
+	for i, b := range data {
+		key := int(b >> 3)    // 0..31
+		count := int(b&7) + 1 // 1..8
+		if i%2 == 0 {
+			p[key] += count
+		} else {
+			q[key] += count
+		}
+	}
+	return p, q
+}
+
+// pairUp lifts a 1K distribution into a 2K-shaped joint-degree map so the
+// same fuzz input also exercises Dist2K.
+func pairUp(d map[int]int) map[[2]int]int {
+	out := make(map[[2]int]int, len(d))
+	for k, c := range d {
+		out[[2]int{k % 5, k}] = c
+	}
+	return out
+}
+
+// FuzzDistances checks the metric properties of the 1K/2K total-variation
+// distances on arbitrary distributions: bounds [0,1], symmetry, and
+// identity-on-self = 0.
+func FuzzDistances(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x00, 0x7f, 0x80})
+	f.Add([]byte("degree distributions"))
+	f.Add([]byte{1, 1, 1, 1, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, q := decodeDists(data)
+
+		d := Dist1K(p, q)
+		if math.IsNaN(d) || d < 0 || d > 1 {
+			t.Fatalf("Dist1K(p,q) = %v out of [0,1]", d)
+		}
+		if rev := Dist1K(q, p); rev != d {
+			t.Fatalf("Dist1K asymmetric: %v vs %v", d, rev)
+		}
+		if self := Dist1K(p, p); self != 0 {
+			t.Fatalf("Dist1K(p,p) = %v, want 0", self)
+		}
+		if self := Dist1K(q, q); self != 0 {
+			t.Fatalf("Dist1K(q,q) = %v, want 0", self)
+		}
+		if len(p) == 0 && len(q) == 0 && d != 0 {
+			t.Fatalf("Dist1K(empty,empty) = %v, want 0", d)
+		}
+		if (len(p) == 0) != (len(q) == 0) && d != 1 {
+			t.Fatalf("Dist1K(one empty side) = %v, want 1", d)
+		}
+
+		p2, q2 := pairUp(p), pairUp(q)
+		d2 := Dist2K(p2, q2)
+		if math.IsNaN(d2) || d2 < 0 || d2 > 1 {
+			t.Fatalf("Dist2K(p,q) = %v out of [0,1]", d2)
+		}
+		if rev := Dist2K(q2, p2); rev != d2 {
+			t.Fatalf("Dist2K asymmetric: %v vs %v", d2, rev)
+		}
+		if self := Dist2K(p2, p2); self != 0 {
+			t.Fatalf("Dist2K(p,p) = %v, want 0", self)
+		}
+		// pairUp is injective on keys, so the 2K distance must equal the 1K
+		// distance on the same counts.
+		if math.Abs(d2-d) > 1e-12 {
+			t.Fatalf("Dist2K = %v differs from Dist1K = %v on lifted input", d2, d)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package validate
+
+import (
+	"context"
+	"math"
+	"math/rand"
+
+	cold "github.com/networksynth/cold"
+	"github.com/networksynth/cold/internal/graph"
+	"github.com/networksynth/cold/internal/randgraph"
+)
+
+// ColdSource streams count COLD networks generated from cfg through the
+// in-order ensemble engine. Generation parallelism comes from
+// cfg.Parallelism; the emitted graphs carry the network's objective total
+// as cost. The heavyweight Network (demand matrix, routing tables) is
+// dropped at the adapter boundary — only the topology crosses into the
+// pipeline.
+func ColdSource(cfg cold.Config, count int) Source {
+	return Source{
+		Name:  "cold",
+		Count: count,
+		Generate: func(ctx context.Context, emit func(i int, g *graph.Graph, cost float64) error) error {
+			return cold.GenerateEnsembleStream(ctx, cfg, count, func(i int, nw *cold.Network) error {
+				g := graph.New(len(nw.Points))
+				for _, l := range nw.Links {
+					g.AddEdge(l.A, l.B)
+				}
+				return emit(i, g, nw.Cost.Total)
+			})
+		},
+	}
+}
+
+// GraphsSource wraps an in-memory graph list (e.g. the zoo stand-in
+// ensemble) as a Source. The graphs carry no cost (NaN).
+func GraphsSource(name string, gs []*graph.Graph) Source {
+	return Source{
+		Name:  name,
+		Count: len(gs),
+		Generate: func(ctx context.Context, emit func(i int, g *graph.Graph, cost float64) error) error {
+			for i, g := range gs {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if err := emit(i, g, math.NaN()); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// MatchedER returns an Erdős–Rényi null-model source matched 1:1 to the
+// reference graphs: member i is a uniform G(n, m) graph with the same node
+// and edge count as ref[i]. One rng drawn in index order keeps the family
+// deterministic regardless of pipeline parallelism.
+func MatchedER(ref []*graph.Graph, seed int64) Source {
+	return Source{
+		Name:  "er",
+		Count: len(ref),
+		Generate: func(ctx context.Context, emit func(i int, g *graph.Graph, cost float64) error) error {
+			rng := rand.New(rand.NewSource(seed))
+			for i, r := range ref {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				g := randgraph.ERWithEdges(r.N(), r.NumEdges(), rng)
+				if err := emit(i, g, math.NaN()); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// MatchedBA returns a Barabási–Albert null-model source matched to the
+// reference graphs: member i is a preferential-attachment graph on
+// ref[i].N() nodes with attachment count round(m/n), clamped to >= 1 — the
+// closest BA gets to the reference edge budget.
+func MatchedBA(ref []*graph.Graph, seed int64) Source {
+	return Source{
+		Name:  "ba",
+		Count: len(ref),
+		Generate: func(ctx context.Context, emit func(i int, g *graph.Graph, cost float64) error) error {
+			rng := rand.New(rand.NewSource(seed))
+			for i, r := range ref {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				n := r.N()
+				m := 1
+				if n > 0 {
+					m = max(1, int(math.Round(float64(r.NumEdges())/float64(n))))
+				}
+				g, err := randgraph.BarabasiAlbert(n, m, rng)
+				if err != nil {
+					return err
+				}
+				if err := emit(i, g, math.NaN()); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -200,6 +200,16 @@ func Clusterings(nets []Network) []float64 {
 	return out
 }
 
+// Graphs strips the names off an ensemble — the shape the validation
+// pipeline's reference sources take.
+func Graphs(nets []Network) []*graph.Graph {
+	out := make([]*graph.Graph, len(nets))
+	for i, n := range nets {
+		out[i] = n.Graph
+	}
+	return out
+}
+
 // Summaries returns the metric summary of every network.
 func Summaries(nets []Network) []metrics.Summary {
 	out := make([]metrics.Summary, len(nets))
