@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check examples bench bench-smoke fuzz ensemble coldd-smoke validate-smoke
+.PHONY: build test vet race check examples bench bench-smoke fuzz ensemble coldd-smoke validate-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -66,10 +66,21 @@ validate-smoke:
 # End-to-end smoke of the coldd generation service: builds the real
 # binary, starts it on a free port, POSTs the same config twice and
 # asserts the second response is a pure cache hit (byte-identical body,
-# cache_hits=1, generations=1 in /v1/stats), then checks clean shutdown
-# on SIGINT. CI runs this after `make check`.
+# cache_hits=1, generations=1 in /v1/stats), scrapes /metrics through
+# the exposition-format lint, checks the per-job JSONL trace file and
+# /healthz build identity, then checks clean shutdown on SIGINT. CI
+# runs this after `make check`.
 coldd-smoke:
 	$(GO) test ./cmd/coldd -run TestColddSmoke -count=1 -v
+
+# Trace round-trip smoke: record a real JSONL telemetry trace with
+# coldgen, then make `coldstats trace` parse and summarize it. CI runs
+# this and uploads TRACE_COLD.jsonl as a build artifact so a run's
+# convergence/phase profile is inspectable per commit.
+trace-smoke:
+	$(GO) run ./cmd/coldgen -n 16 -count 4 -pop 24 -gens 12 \
+		-trace TRACE_COLD.jsonl -out /dev/null
+	$(GO) run ./cmd/coldstats trace TRACE_COLD.jsonl
 
 # Serial-vs-parallel ensemble throughput on this machine.
 ensemble:

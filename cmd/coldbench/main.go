@@ -27,6 +27,7 @@ import (
 	cold "github.com/networksynth/cold"
 	"github.com/networksynth/cold/internal/diag"
 	"github.com/networksynth/cold/internal/experiments"
+	"github.com/networksynth/cold/internal/telemetry"
 	"github.com/networksynth/cold/internal/zoo"
 )
 
@@ -50,8 +51,8 @@ func run(args []string, stdout io.Writer) error {
 	jsonOut := fs.String("json", "", "write machine-readable results to this file (e.g. BENCH_COLD.json; format in EXPERIMENTS.md)")
 	validateCount := fs.Int("validate-count", 1000, "COLD ensemble size for the validate experiment")
 	validateRecords := fs.String("validate-records", "", "write the validate experiment's per-topology JSONL records to this file (e.g. VALIDATE_COLD.jsonl)")
-	trace := fs.String("trace", "", "write a JSONL telemetry trace to this file (see DESIGN.md, Telemetry)")
-	metricsAddr := fs.String("metrics", "", "serve live expvar + pprof on this address (e.g. :6060)")
+	trace := fs.String("trace", "", "write a JSONL telemetry trace to this file (see DESIGN.md, Observability; analyze with coldstats trace)")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus /metrics, expvar and pprof on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,12 +93,16 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close() //nolint:errcheck // no-op after flushTrace's close
 	}
 	if *metricsAddr != "" {
-		addr, shutdown, err := diag.Serve(*metricsAddr, func() any { return tel.Snapshot() })
+		reg := telemetry.NewRegistry()
+		tel.RegisterMetrics(reg)
+		diag.RegisterBuildInfo(reg)
+		diag.RegisterRuntime(reg)
+		addr, shutdown, err := diag.Serve(*metricsAddr, reg, func() any { return tel.Snapshot() })
 		if err != nil {
 			return err
 		}
 		defer shutdown() //nolint:errcheck
-		fmt.Fprintf(os.Stderr, "coldbench: metrics on http://%s/debug/vars (pprof on /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "coldbench: metrics on http://%s/metrics (expvar on /debug/vars, pprof on /debug/pprof/)\n", addr)
 	}
 	var records []benchRecord
 

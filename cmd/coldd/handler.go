@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	cold "github.com/networksynth/cold"
+	"github.com/networksynth/cold/internal/diag"
 )
 
 // maxBodyBytes bounds request bodies (LocFixed point lists and TrafficFixed
@@ -25,25 +26,44 @@ type generateRequest struct {
 	Count  int         `json:"count"` // default 1
 }
 
-// handler builds the coldd mux:
+// handler builds the coldd mux, wrapped in the request-observability
+// middleware (request IDs, access log, latency metrics — observe.go):
 //
 //	POST /v1/generate  generate (or serve cached) ensemble; JSONL, or SSE via
 //	                   Accept: text/event-stream or ?stream=sse
 //	GET  /v1/stats     service counters (cache, queue, store, telemetry)
-//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus text exposition of the cold_* metrics
+//	GET  /healthz      liveness + build identity and uptime (JSON)
 //	/debug/            expvar (/debug/vars, "cold" variable) + pprof
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	// expvar and net/http/pprof register on the default mux; internal/diag
 	// publishes the "cold" telemetry snapshot there.
 	mux.Handle("/debug/", http.DefaultServeMux)
-	return mux
+	return s.instrument(mux)
+}
+
+// healthzResponse is the GET /healthz payload: liveness plus the build
+// identity ("version", "go_version", "vcs_revision", "start") and uptime.
+type healthzResponse struct {
+	Status string `json:"status"`
+	diag.Info
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(healthzResponse{ //nolint:errcheck
+		Status:        "ok",
+		Info:          diag.ProcessInfo(),
+		UptimeSeconds: diag.Uptime().Seconds(),
+	})
 }
 
 // httpError writes a JSON error body with the given status.
@@ -102,8 +122,10 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	key := artifactKey(hash, count)
 	sse := wantSSE(r)
+	ri := reqInfoFrom(r)
+	ri.hash, ri.count = hash, count
 
-	data, j, err := s.lookup(req.Config, count, key)
+	data, j, err := s.lookup(req.Config, count, key, ri.id)
 	switch {
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -113,6 +135,7 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	case data != nil:
+		ri.cache = "hit"
 		s.writeHeaders(w, hash, count, "hit", sse)
 		if sse {
 			writeSSELines(w, r, data)
@@ -122,6 +145,7 @@ func (s *server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		w.Write(data) //nolint:errcheck
 		return
 	}
+	ri.cache, ri.jobID = "miss", j.id
 	s.streamJob(w, r, j, hash, count, sse)
 }
 

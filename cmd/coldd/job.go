@@ -18,8 +18,13 @@ import (
 // only complete lines once the job is done.
 type job struct {
 	key    string
-	total  int // requested ensemble size
+	id     string // correlation ID: the starting request's ID, also the trace file name
+	total  int    // requested ensemble size
 	cancel context.CancelFunc
+
+	// flushTrace closes the job's JSONL trace file, when one was opened.
+	// Set and called only by the runner goroutine (server.run).
+	flushTrace func() error
 
 	mu     sync.Mutex
 	buf    []byte
@@ -30,8 +35,8 @@ type job struct {
 	notify chan struct{} // closed and replaced on every state change
 }
 
-func newJob(key string, total int, cancel context.CancelFunc) *job {
-	return &job{key: key, total: total, cancel: cancel, refs: 1, notify: make(chan struct{})}
+func newJob(key string, total int, id string, cancel context.CancelFunc) *job {
+	return &job{key: key, id: id, total: total, cancel: cancel, refs: 1, notify: make(chan struct{})}
 }
 
 // wake closes the current notify channel, releasing every tailing reader.

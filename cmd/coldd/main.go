@@ -13,10 +13,19 @@
 //
 // Usage:
 //
-//	coldd -addr localhost:8264 -cache /var/cache/coldd -jobs 2 -queue 64
+//	coldd -addr localhost:8264 -cache /var/cache/coldd -jobs 2 -queue 64 \
+//	      -log-format json -trace-dir /var/log/coldd/traces
 //
 //	curl -s localhost:8264/v1/generate -d '{"config":{"NumPoPs":20,"Seed":1},"count":4}'
 //	curl -s localhost:8264/v1/stats
+//	curl -s localhost:8264/metrics      # Prometheus text exposition
+//	curl -s localhost:8264/healthz      # liveness + build identity
+//
+// Every request gets an X-Cold-Request-Id and one structured log line;
+// the request that starts a generation job lends the job its ID, which
+// names the job's JSONL trace file under -trace-dir and is stamped into
+// the trace's run_start/run_end events (run_id) — see DESIGN.md
+// ("Observability") and `coldstats trace` for analysis.
 //
 // See DESIGN.md ("Service API") for endpoints, schemas, and the cache-key
 // contract.
@@ -27,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -42,6 +52,24 @@ func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "coldd:", err)
 		os.Exit(1)
+	}
+}
+
+// newLogger builds the service's structured logger on stderr from the
+// -log-level and -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
 	}
 }
 
@@ -61,7 +89,20 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "worker goroutines per generation job (0 = all CPUs)")
 	maxCount := flag.Int("max-count", 256, "largest ensemble size a request may ask for")
 	maxPoPs := flag.Int("max-pops", 512, "largest NumPoPs a request may ask for")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log encoding: text, json")
+	traceDir := flag.String("trace-dir", "", "write one JSONL telemetry trace per generation job to this directory (file name = job ID)")
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+	}
 
 	st, err := store.Open(*cacheDir, store.Options{MaxBytes: *cacheMax})
 	if err != nil {
@@ -80,6 +121,8 @@ func run() error {
 		parallel:   *parallel,
 		maxCount:   *maxCount,
 		maxPoPs:    *maxPoPs,
+		logger:     logger,
+		traceDir:   *traceDir,
 	})
 	diag.Publish(func() any { return s.tel.Snapshot() })
 

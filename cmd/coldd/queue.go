@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"github.com/networksynth/cold/internal/telemetry"
 )
 
 // errQueueFull is returned by admit when the job queue's waiting room is
@@ -26,6 +28,10 @@ type queue struct {
 	admitted int
 
 	waitNs waitCounter // cumulative slot-wait, for /v1/stats
+
+	// waitHist, when set, observes successful slot waits in nanoseconds
+	// (the cold_queue_wait_seconds metric). Wiring-time only.
+	waitHist *telemetry.Histogram
 }
 
 // waitCounter tracks slot waits for /v1/stats, keeping successful waits
@@ -88,7 +94,9 @@ func (q *queue) wait(ctx context.Context) error {
 	start := time.Now()
 	select {
 	case q.slots <- struct{}{}:
-		q.waitNs.add(time.Since(start), false)
+		d := time.Since(start)
+		q.waitNs.add(d, false)
+		q.waitHist.Observe(float64(d))
 		return nil
 	case <-ctx.Done():
 		q.waitNs.add(time.Since(start), true)

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
 	"sync"
+	"time"
 
 	cold "github.com/networksynth/cold"
 	"github.com/networksynth/cold/internal/store"
@@ -35,6 +40,8 @@ type serverOptions struct {
 	parallel   int             // worker goroutines per generation (0 = all CPUs)
 	maxCount   int             // per-request ensemble size bound
 	maxPoPs    int             // per-request NumPoPs bound
+	logger     *slog.Logger    // structured request/job log (nil = discard)
+	traceDir   string          // per-job JSONL trace directory ("" = no traces)
 }
 
 // server is the coldd HTTP daemon: a bounded job queue feeding the cold
@@ -46,6 +53,8 @@ type server struct {
 	tel   *cold.Telemetry
 	q     *queue
 	base  context.Context
+	log   *slog.Logger
+	reg   *telemetry.Registry // the GET /metrics surface
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -58,6 +67,12 @@ type server struct {
 	generations telemetry.Counter // jobs that actually entered the generator
 	queueFull   telemetry.Counter
 	canceled    telemetry.Counter
+
+	reqDur    *telemetry.HistogramVec // request wall time by route/status
+	respBytes *telemetry.Histogram    // response body sizes
+	queueWait *telemetry.Histogram    // successful slot waits
+	storeGet  *telemetry.Histogram    // artifact store Get latency
+	storePut  *telemetry.Histogram    // artifact store Put latency
 }
 
 func newServer(opts serverOptions) *server {
@@ -67,21 +82,37 @@ func newServer(opts serverOptions) *server {
 	if opts.maxCount <= 0 {
 		opts.maxCount = 256
 	}
-	return &server{
+	if opts.logger == nil {
+		opts.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &server{
 		opts:  opts,
 		store: opts.store,
 		tel:   cold.NewTelemetry(),
 		q:     newQueue(opts.jobs, opts.queueDepth),
 		base:  opts.base,
+		log:   opts.logger,
+		reg:   telemetry.NewRegistry(),
 		jobs:  make(map[string]*job),
+
+		reqDur:    telemetry.NewHistogramVec(telemetry.DurationBuckets(), "route", "status"),
+		respBytes: telemetry.NewHistogram(sizeBuckets()),
+		queueWait: telemetry.NewHistogram(telemetry.DurationBuckets()),
+		storeGet:  telemetry.NewHistogram(telemetry.DurationBuckets()),
+		storePut:  telemetry.NewHistogram(telemetry.DurationBuckets()),
 	}
+	s.q.waitHist = s.queueWait
+	s.store.SetLatencyHistograms(s.storeGet, s.storePut)
+	s.registerMetrics(s.reg)
+	return s
 }
 
 // lookup resolves one request to either cached artifact bytes or a job to
 // tail: store hit → (data, nil); in-flight identical request → join it;
-// otherwise admit the queue and start a new job. The queue-full check is
-// synchronous, so a rejected request never creates a job.
-func (s *server) lookup(cfg cold.Config, count int, key string) (data []byte, j *job, err error) {
+// otherwise admit the queue and start a new job carrying the requester's
+// ID (its correlation handle in logs and trace files). The queue-full
+// check is synchronous, so a rejected request never creates a job.
+func (s *server) lookup(cfg cold.Config, count int, key, reqID string) (data []byte, j *job, err error) {
 	if data, err := s.store.Get(key); err == nil {
 		s.cacheHits.Inc()
 		return data, nil, nil
@@ -102,32 +133,41 @@ func (s *server) lookup(cfg cold.Config, count int, key string) (data []byte, j 
 		return nil, nil, err
 	}
 	ctx, cancel := context.WithCancel(s.base)
-	nj := newJob(key, count, cancel)
+	nj := newJob(key, count, reqID, cancel)
 	s.jobs[key] = nj
 	s.cacheMisses.Inc()
+	s.log.Info("job queued", "job_id", nj.id, "key", key, "count", count)
 	go s.run(ctx, nj, cfg, count)
 	return nil, nj, nil
 }
 
 // run executes one generation job: wait for a queue slot, stream replicas
 // into the job buffer in replica order, persist the finished artifact.
+// With -trace-dir set, the generation writes a JSONL trace to
+// <dir>/<job_id>.jsonl, its run_start/run_end stamped with the job ID
+// (Config.RunID) so log lines and trace files cross-reference.
 func (s *server) run(ctx context.Context, j *job, cfg cold.Config, count int) {
 	defer s.detach(j)
 	defer s.q.leave()
+	queued := time.Now()
 	if err := s.q.wait(ctx); err != nil {
 		s.canceled.Inc()
+		s.log.Info("job canceled while queued", "job_id", j.id, "queue_wait", time.Since(queued))
 		j.finish(err)
 		return
 	}
 	defer s.q.release()
 	s.generations.Inc()
+	wait := time.Since(queued)
+	s.log.Info("job started", "job_id", j.id, "key", j.key, "queue_wait", wait)
+	start := time.Now()
 
 	// The request's parallelism/progress/telemetry are service concerns:
 	// results are bit-identical across all of them, and the canonical hash
 	// excludes them, so the server always substitutes its own.
 	cfg.Parallelism = s.opts.parallel
 	cfg.Progress = nil
-	cfg.Telemetry = s.tel
+	cfg.Telemetry, cfg.RunID = s.jobTelemetry(j)
 	err := cold.GenerateEnsembleStream(ctx, cfg, count, func(i int, nw *cold.Network) error {
 		line, err := json.Marshal(nw)
 		if err != nil {
@@ -136,20 +176,61 @@ func (s *server) run(ctx context.Context, j *job, cfg cold.Config, count int) {
 		j.append(append(line, '\n'))
 		return nil
 	})
+	if flush := j.flushTrace; flush != nil {
+		if terr := flush(); terr != nil {
+			s.log.Warn("job trace", "job_id", j.id, "err", terr)
+		}
+	}
 	if err != nil {
+		outcome := "error"
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.canceled.Inc()
+			outcome = "canceled"
 		}
+		s.log.Info("job finished", "job_id", j.id, "outcome", outcome, "dur", time.Since(start), "err", err)
 		j.finish(err)
 		return
 	}
 	data, _, _, _ := j.snapshot(0)
-	if err := s.store.Put(j.key, data); err != nil {
+	if perr := s.store.Put(j.key, data); perr != nil {
 		// A cache write failure degrades future requests to regeneration;
 		// this one still has its bytes.
-		log.Printf("coldd: caching %s: %v", j.key, err)
+		s.log.Warn("job artifact not cached", "job_id", j.id, "key", j.key, "err", perr)
 	}
+	s.log.Info("job finished", "job_id", j.id, "outcome", "ok", "dur", time.Since(start),
+		"replicas", count, "bytes", len(data))
 	j.finish(nil)
+}
+
+// jobTelemetry returns the telemetry handle and run ID for one job. With
+// no trace directory it is the shared service handle; with one, a derived
+// handle writing the job's own trace file (metrics still aggregate
+// service-wide). Trace-file failures degrade to the shared handle — a
+// full disk must not fail generations.
+func (s *server) jobTelemetry(j *job) (*cold.Telemetry, string) {
+	if s.opts.traceDir == "" {
+		return s.tel, j.id
+	}
+	path := filepath.Join(s.opts.traceDir, j.id+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		s.log.Warn("job trace", "job_id", j.id, "err", err)
+		return s.tel, j.id
+	}
+	bw := bufio.NewWriter(f)
+	tel := s.tel.WithTrace(bw)
+	j.flushTrace = func() error {
+		if err := tel.TraceErr(); err != nil {
+			f.Close() //nolint:errcheck
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close() //nolint:errcheck
+			return err
+		}
+		return f.Close()
+	}
+	return tel, j.id
 }
 
 // detach removes a finished (or replaced) job from the index.

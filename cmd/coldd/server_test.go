@@ -5,14 +5,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	cold "github.com/networksynth/cold"
 	"github.com/networksynth/cold/internal/store"
+	"github.com/networksynth/cold/internal/telemetry"
 )
 
 // newTestServer builds a server over a fresh temp store and returns it with
@@ -351,5 +355,174 @@ func TestHealthAndStatsEndpoints(t *testing.T) {
 	st := getStats(t, ts)
 	if st.Telemetry.SchemaVersion != cold.TraceSchemaVersion {
 		t.Errorf("stats telemetry schema = %d, want %d", st.Telemetry.SchemaVersion, cold.TraceSchemaVersion)
+	}
+}
+
+// TestMetricsEndpoint: GET /metrics serves lintable Prometheus text with
+// the service, engine, store and build-identity families all present.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{})
+	readAll(t, post(t, ts, tinyBody(11, 1))) // populate the counters
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := readAll(t, resp)
+	if err := telemetry.LintExposition(body); err != nil {
+		t.Fatalf("/metrics fails lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"cold_http_requests_total 1",
+		"cold_artifact_cache_misses_total 1",
+		"cold_generation_jobs_total 1",
+		"cold_runs_total 1",
+		"cold_store_puts_total 1",
+		"cold_http_request_duration_seconds_bucket{le=\"+Inf\",route=\"POST /v1/generate\",status=\"200\"}",
+		"cold_queue_wait_seconds_count 1",
+		"cold_store_get_duration_seconds_count",
+		"cold_build_info{",
+		"cold_go_goroutines ",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestHealthzBuildInfo: /healthz reports liveness plus the build identity
+// and a positive uptime.
+func TestHealthzBuildInfo(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+	var h healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want ok", h.Status)
+	}
+	if h.GoVersion == "" || h.Version == "" {
+		t.Errorf("missing build identity: %+v", h)
+	}
+	if h.UptimeSeconds <= 0 {
+		t.Errorf("uptime %v, want > 0", h.UptimeSeconds)
+	}
+}
+
+// TestRequestIDTraceCorrelation is the trace-correlation acceptance path:
+// a generate request's X-Cold-Request-Id names the job's JSONL trace file,
+// and the trace's run_start/run_end events carry that ID as run_id.
+func TestRequestIDTraceCorrelation(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, serverOptions{traceDir: dir})
+
+	resp := post(t, ts, tinyBody(21, 2))
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	reqID := resp.Header.Get("X-Cold-Request-Id")
+	if len(reqID) != 16 {
+		t.Fatalf("X-Cold-Request-Id = %q, want 16 hex chars", reqID)
+	}
+
+	tracePath := filepath.Join(dir, reqID+".jsonl")
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var runStarts, runEnds int
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		var ev struct {
+			V     int    `json:"v"`
+			Event string `json:"event"`
+			RunID string `json:"run_id"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad trace line %s: %v", line, err)
+		}
+		if ev.V != cold.TraceSchemaVersion {
+			t.Fatalf("trace line v=%d, want %d", ev.V, cold.TraceSchemaVersion)
+		}
+		switch ev.Event {
+		case "run_start":
+			runStarts++
+			if ev.RunID != reqID {
+				t.Errorf("run_start run_id = %q, want %q", ev.RunID, reqID)
+			}
+		case "run_end":
+			runEnds++
+			if ev.RunID != reqID {
+				t.Errorf("run_end run_id = %q, want %q", ev.RunID, reqID)
+			}
+		}
+	}
+	if runStarts != 1 || runEnds != 1 {
+		t.Fatalf("trace has %d run_start / %d run_end events, want 1/1", runStarts, runEnds)
+	}
+
+	// A cache hit must not write a second trace (no generation ran).
+	readAll(t, post(t, ts, tinyBody(21, 2)))
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("trace dir has %d files after a cache hit, want 1", len(files))
+	}
+}
+
+// TestRequestLogFields: the access log carries the request ID, route,
+// status, config hash and cache status for a generate request.
+func TestRequestLogFields(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	_, ts := newTestServer(t, serverOptions{logger: logger})
+
+	resp := post(t, ts, tinyBody(31, 1))
+	readAll(t, resp)
+	reqID := resp.Header.Get("X-Cold-Request-Id")
+	hash := resp.Header.Get("X-Cold-Config-Hash")
+
+	var reqLine map[string]any
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("bad log line %s: %v", line, err)
+		}
+		if m["msg"] == "request" && m["route"] == "POST /v1/generate" {
+			reqLine = m
+		}
+	}
+	if reqLine == nil {
+		t.Fatalf("no request log line for /v1/generate in:\n%s", buf.String())
+	}
+	for key, want := range map[string]any{
+		"req_id":      reqID,
+		"status":      float64(http.StatusOK),
+		"config_hash": hash,
+		"cache":       "miss",
+		"job_id":      reqID,
+	} {
+		if got := reqLine[key]; got != want {
+			t.Errorf("request log %s = %v, want %v", key, got, want)
+		}
+	}
+	if !strings.Contains(buf.String(), `"msg":"job finished"`) {
+		t.Errorf("no job-finished log line in:\n%s", buf.String())
 	}
 }

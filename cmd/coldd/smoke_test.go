@@ -18,6 +18,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/networksynth/cold/internal/telemetry"
 )
 
 func TestColddSmoke(t *testing.T) {
@@ -37,6 +39,8 @@ func TestColddSmoke(t *testing.T) {
 		"-cache", filepath.Join(dir, "cache"),
 		"-jobs", "1",
 		"-parallel", "1",
+		"-log-format", "json",
+		"-trace-dir", filepath.Join(dir, "traces"),
 	)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -109,6 +113,55 @@ func TestColddSmoke(t *testing.T) {
 	if st.CacheHits != 1 || st.Generations != 1 {
 		t.Fatalf("cache_hits=%d generations=%d, want 1 and 1 (second POST must be a pure cache hit)",
 			st.CacheHits, st.Generations)
+	}
+
+	// The Prometheus surface must scrape clean: valid exposition format
+	// with the core service and engine families present.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	if _, err := metrics.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", mresp.StatusCode)
+	}
+	if err := telemetry.LintExposition(metrics.Bytes()); err != nil {
+		t.Fatalf("/metrics fails format lint: %v", err)
+	}
+	for _, want := range []string{"cold_http_requests_total 2", "cold_generation_jobs_total 1", "cold_runs_total 1", "cold_build_info{"} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The generation job must have left exactly one JSONL trace file.
+	traces, err := os.ReadDir(filepath.Join(dir, "traces"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Errorf("trace dir has %d files, want 1", len(traces))
+	}
+
+	// /healthz reports liveness plus build identity.
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status    string `json:"status"`
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Status != "ok" || health.GoVersion == "" {
+		t.Fatalf("healthz = %+v, want ok with a go version", health)
 	}
 
 	if err := cmd.Process.Signal(os.Interrupt); err != nil {

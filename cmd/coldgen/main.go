@@ -25,6 +25,7 @@ import (
 	"github.com/networksynth/cold/internal/geom"
 	"github.com/networksynth/cold/internal/graph"
 	"github.com/networksynth/cold/internal/render"
+	"github.com/networksynth/cold/internal/telemetry"
 )
 
 func main() {
@@ -56,8 +57,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	heur := fs.Bool("heuristics", true, "seed the GA with greedy heuristic solutions (initialised GA)")
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = all CPUs); results are identical for every setting")
 	progress := fs.Bool("progress", false, "report ensemble progress on stderr")
-	trace := fs.String("trace", "", "write a JSONL telemetry trace to this file (see DESIGN.md, Telemetry)")
-	metricsAddr := fs.String("metrics", "", "serve live expvar + pprof on this address (e.g. :6060 or localhost:6060)")
+	trace := fs.String("trace", "", "write a JSONL telemetry trace to this file (see DESIGN.md, Observability; analyze with coldstats trace)")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus /metrics, expvar and pprof on this address (e.g. :6060 or localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,12 +89,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		defer f.Close() //nolint:errcheck // no-op after flushTrace's close
 	}
 	if *metricsAddr != "" {
-		addr, shutdown, err := diag.Serve(*metricsAddr, func() any { return tel.Snapshot() })
+		reg := telemetry.NewRegistry()
+		tel.RegisterMetrics(reg)
+		diag.RegisterBuildInfo(reg)
+		diag.RegisterRuntime(reg)
+		addr, shutdown, err := diag.Serve(*metricsAddr, reg, func() any { return tel.Snapshot() })
 		if err != nil {
 			return err
 		}
 		defer shutdown() //nolint:errcheck
-		fmt.Fprintf(os.Stderr, "coldgen: metrics on http://%s/debug/vars (pprof on /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "coldgen: metrics on http://%s/metrics (expvar on /debug/vars, pprof on /debug/pprof/)\n", addr)
 	}
 
 	cfg := cold.Config{

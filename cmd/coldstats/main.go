@@ -1,13 +1,16 @@
 // Command coldstats prints topology statistics for a network stored as
 // coldgen JSON, or — with -zoo — for the Topology-Zoo stand-in ensemble.
 // The validate subcommand characterizes a whole generated ensemble against
-// the zoo reference and writes a machine-readable scorecard.
+// the zoo reference and writes a machine-readable scorecard. The trace
+// subcommand summarizes a JSONL telemetry trace: per-replica phase
+// timings, GA convergence and evaluator counter rollups.
 //
 // Usage:
 //
 //	coldgen -n 30 -out net.json && coldstats net.json
 //	coldstats -zoo
 //	coldstats validate -count 1000 -out records.jsonl -scorecard scorecard.json
+//	coldgen -n 30 -count 4 -trace trace.jsonl -out /dev/null && coldstats trace trace.jsonl
 package main
 
 import (
@@ -36,6 +39,9 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "validate" {
 		return runValidate(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("coldstats", flag.ContinueOnError)
 	zooFlag := fs.Bool("zoo", false, "summarize the Topology-Zoo stand-in ensemble instead of a file")

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	cold "github.com/networksynth/cold"
+)
+
+// recordTrace runs a small traced ensemble and returns the trace path.
+func recordTrace(t *testing.T, runID string, count int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	tel := cold.NewTelemetry().TraceTo(bw)
+	cfg := cold.Config{
+		NumPoPs:     8,
+		Seed:        5,
+		Parallelism: 2,
+		RunID:       runID,
+		Telemetry:   tel,
+		Optimizer:   cold.OptimizerSpec{PopulationSize: 8, Generations: 6},
+	}
+	if _, err := cold.GenerateEnsemble(cfg, count); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.TraceErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceSubcommand runs `coldstats trace` over a real recorded trace
+// and checks the report: run header with the correlation ID, wall/busy
+// rollup, convergence table and the per-replica phase breakdown.
+func TestTraceSubcommand(t *testing.T) {
+	path := recordTrace(t, "req-7f3a", 3)
+	var out bytes.Buffer
+	if err := run([]string{"trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"1 runs",
+		"run 1 run_id=req-7f3a: replicas=3 workers=2 n=8 pop=8 gens=6",
+		"utilization",
+		"evaluator:",
+		"cache hit",
+		"convergence (mean over 3 replicas):",
+		"gen        best",
+		"replicas:",
+		"rep  worker",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q in:\n%s", want, got)
+		}
+	}
+	// All three replica rows must be present.
+	for _, rep := range []string{"\n      0  ", "\n      1  ", "\n      2  "} {
+		if !strings.Contains(got, rep) {
+			t.Errorf("report missing replica row %q", strings.TrimSpace(rep))
+		}
+	}
+}
+
+// TestParseTrace covers the parser's edge cases with handwritten JSONL:
+// v1 events (no run_id), multiple runs per file, headless tails, and the
+// error paths.
+func TestParseTrace(t *testing.T) {
+	v1 := `{"v":1,"event":"run_start","replicas":1,"workers":1,"n":5,"pop":4,"gens":2}
+{"v":1,"event":"replica_start","replica":0,"worker":0,"queue_ns":10}
+{"v":1,"event":"generation","replica":0,"gen":0,"best":9.5,"mean":11,"worst":12,"diversity":2,"elite_survived":0,"breed_ns":5,"eval_ns":6,"evals":4}
+{"v":1,"event":"generation","replica":0,"gen":1,"best":8.5,"mean":9,"worst":10,"diversity":1,"elite_survived":2,"breed_ns":5,"eval_ns":6,"evals":8}
+{"v":1,"event":"phase","replica":0,"phase":"breed","total_ns":10,"count":2}
+{"v":1,"event":"phase","replica":0,"phase":"evaluate","total_ns":12,"count":2}
+{"v":1,"event":"replica_end","replica":0,"worker":0,"dur_ns":100,"cost":8.5,"links":4}
+{"v":1,"event":"run_end","replicas":1,"workers":1,"dur_ns":120,"busy_ns":100,"utilization":0.83,"cache_hits":3,"cache_misses":5,"full_sweeps":5}
+`
+	t.Run("v1", func(t *testing.T) {
+		runs, lines, err := parseTrace(strings.NewReader(v1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines != 8 || len(runs) != 1 {
+			t.Fatalf("lines=%d runs=%d, want 8 and 1", lines, len(runs))
+		}
+		tr := runs[0]
+		if tr.start == nil || tr.end == nil || tr.start.RunID != "" {
+			t.Fatalf("v1 run parsed wrong: start=%+v end=%+v", tr.start, tr.end)
+		}
+		r := tr.replicas[0]
+		if r == nil || r.breedNs != 10 || r.evalNs != 12 || r.cost != 8.5 || !r.ended {
+			t.Fatalf("replica rollup = %+v", r)
+		}
+		if tr.maxGen != 1 || tr.gens[1].best != 8.5 || tr.gens[1].elite != 2 {
+			t.Fatalf("generation aggregate wrong: maxGen=%d gens=%+v", tr.maxGen, tr.gens[1])
+		}
+	})
+
+	t.Run("two runs", func(t *testing.T) {
+		runs, _, err := parseTrace(strings.NewReader(v1 + v1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != 2 {
+			t.Fatalf("%d runs, want 2", len(runs))
+		}
+	})
+
+	t.Run("headless tail", func(t *testing.T) {
+		// A trace whose head was lost: events before any run_start still
+		// group into an implicit run instead of being dropped.
+		tail := `{"v":2,"event":"replica_end","replica":3,"worker":1,"dur_ns":50,"cost":4,"links":3}
+`
+		runs, _, err := parseTrace(strings.NewReader(tail))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != 1 || runs[0].start != nil || runs[0].replicas[3] == nil {
+			t.Fatalf("headless parse = %+v", runs)
+		}
+		var out bytes.Buffer
+		printRun(&out, 0, runs[0], 0)
+		if !strings.Contains(out.String(), "missing run_start") {
+			t.Errorf("report must flag the missing run_start:\n%s", out.String())
+		}
+	})
+
+	t.Run("future schema", func(t *testing.T) {
+		_, _, err := parseTrace(strings.NewReader(`{"v":99,"event":"run_start"}`))
+		if err == nil || !strings.Contains(err.Error(), "unsupported trace schema") {
+			t.Fatalf("err = %v, want unsupported schema", err)
+		}
+	})
+
+	t.Run("malformed line", func(t *testing.T) {
+		if _, _, err := parseTrace(strings.NewReader("{not json}\n")); err == nil {
+			t.Fatal("malformed line must error")
+		}
+	})
+}
+
+// TestTraceUsageErrors: the subcommand rejects missing files and no args.
+func TestTraceUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"trace"}, &out); err == nil {
+		t.Fatal("no-arg trace must error with usage")
+	}
+	if err := run([]string{"trace", filepath.Join(t.TempDir(), "absent.jsonl")}, &out); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

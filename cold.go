@@ -187,6 +187,13 @@ type Config struct {
 	// bit-identical with and without it.
 	Telemetry *Telemetry
 
+	// RunID, when non-empty, is stamped into the run's JSONL trace events
+	// (the run_start/run_end "run_id" field, trace schema v2) so external
+	// logs can join a run to the trace it produced — cmd/coldd sets it to
+	// the job's request ID. Execution-only like Parallelism and Telemetry:
+	// excluded from Canonical()/Hash() and without effect on results.
+	RunID string
+
 	Locations LocationSpec
 	Traffic   TrafficSpec
 	Optimizer OptimizerSpec

@@ -4,14 +4,18 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
+	"sync"
 	"testing"
+
+	"github.com/networksynth/cold/internal/telemetry"
 )
 
 func TestServePublishesSnapshot(t *testing.T) {
 	type snap struct {
 		Runs int `json:"runs"`
 	}
-	addr, shutdown, err := Serve("127.0.0.1:0", func() any { return snap{Runs: 7} })
+	addr, shutdown, err := Serve("127.0.0.1:0", nil, func() any { return snap{Runs: 7} })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +54,7 @@ func TestServePublishesSnapshot(t *testing.T) {
 
 	// Re-serving swaps the snapshot function instead of panicking on a
 	// duplicate expvar registration.
-	addr2, shutdown2, err := Serve("127.0.0.1:0", func() any { return snap{Runs: 9} })
+	addr2, shutdown2, err := Serve("127.0.0.1:0", nil, func() any { return snap{Runs: 9} })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,5 +73,127 @@ func TestServePublishesSnapshot(t *testing.T) {
 	}
 	if got.Runs != 9 {
 		t.Fatalf("after re-serve, cold.runs = %d, want 9", got.Runs)
+	}
+}
+
+// TestServeMetrics checks that a registry handed to Serve is exposed as
+// GET /metrics in valid, lintable Prometheus text format with the build
+// identity and runtime families present.
+func TestServeMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	RegisterBuildInfo(reg)
+	RegisterRuntime(reg)
+	var c telemetry.Counter
+	c.Add(3)
+	reg.Counter("cold_test_requests_total", "Test counter.", &c)
+
+	addr, shutdown, err := Serve("127.0.0.1:0", reg, func() any { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown() //nolint:errcheck
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.LintExposition(body); err != nil {
+		t.Errorf("/metrics fails lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{"cold_build_info{", "cold_uptime_seconds ", "cold_go_goroutines ", "cold_test_requests_total 3"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentPublishScrape hammers Publish against live /metrics and
+// /debug/vars scrapes — the swap path must never race or serve a torn
+// snapshot function (run under -race in `make check`).
+func TestConcurrentPublishScrape(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := telemetry.NewHistogram([]float64{1, 10, 100})
+	reg.Histogram("cold_test_sizes", "Test histogram.", h)
+
+	addr, shutdown, err := Serve("127.0.0.1:0", reg, func() any { return map[string]int{"n": 0} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown() //nolint:errcheck
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // publisher: keeps swapping the expvar snapshot function
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				n := i
+				Publish(func() any { return map[string]int{"n": n} })
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // observer: keeps the histogram moving during scrapes
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(float64(i % 200))
+			}
+		}
+	}()
+
+	for i := 0; i < 20; i++ {
+		for _, path := range []string{"/metrics", "/debug/vars"} {
+			resp, err := http.Get("http://" + addr + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s status %d", path, resp.StatusCode)
+			}
+			if path == "/metrics" {
+				if err := telemetry.LintExposition(body); err != nil {
+					t.Fatalf("scrape %d fails lint: %v", i, err)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestProcessInfo(t *testing.T) {
+	info := ProcessInfo()
+	if info.GoVersion == "" {
+		t.Error("empty GoVersion")
+	}
+	if info.Version == "" {
+		t.Error("empty Version")
+	}
+	if info.Start.IsZero() {
+		t.Error("zero Start")
+	}
+	if Uptime() <= 0 {
+		t.Error("non-positive uptime")
 	}
 }

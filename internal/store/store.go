@@ -22,6 +22,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/networksynth/cold/internal/telemetry"
 )
 
 // ErrNotFound is returned by Get for keys with no stored artifact.
@@ -71,6 +73,11 @@ type Store struct {
 	entries map[string]*entry
 	size    int64
 	stats   Stats
+
+	// Optional latency instruments (nanoseconds), attached at wiring time
+	// via SetLatencyHistograms; nil histograms are no-ops.
+	getDur *telemetry.Histogram
+	putDur *telemetry.Histogram
 }
 
 // Open prepares a store rooted at dir, creating it if needed. The on-disk
@@ -88,6 +95,15 @@ func Open(dir string, opts Options) (*Store, error) {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetLatencyHistograms attaches optional wall-time instruments for Get and
+// Put (observed in nanoseconds, covering the whole call including the lazy
+// index load and disk I/O). Either may be nil. Call before the store sees
+// concurrent use — this is wiring, not a runtime toggle.
+func (s *Store) SetLatencyHistograms(get, put *telemetry.Histogram) {
+	s.getDur = get
+	s.putDur = put
+}
 
 // validKey reports whether key is safe as a file name in the bucketed
 // layout: at least 2 characters, all from [a-z0-9._-] (content hashes and
@@ -153,6 +169,8 @@ func (s *Store) load() error {
 // Get counts a hit or a miss per the Stats accounting contract — including
 // invalid keys, which are misses by definition.
 func (s *Store) Get(key string) ([]byte, error) {
+	start := time.Now()
+	defer func() { s.getDur.Observe(float64(time.Since(start))) }()
 	if !validKey(key) {
 		s.mu.Lock()
 		s.stats.Misses++
@@ -217,6 +235,8 @@ func (s *Store) Has(key string) (bool, error) {
 // evicts least-recently-used artifacts as needed to respect
 // Options.MaxBytes — never the artifact just written.
 func (s *Store) Put(key string, data []byte) error {
+	start := time.Now()
+	defer func() { s.putDur.Observe(float64(time.Since(start))) }()
 	if !validKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
 	}

@@ -2,7 +2,7 @@ package telemetry
 
 import "math"
 
-// Trace-event payloads, schema version 1 (SchemaVersion). Each struct
+// Trace-event payloads, schema version 2 (SchemaVersion). Each struct
 // corresponds to one event name; the JSONL recorder stamps "v" and "event"
 // and splices the payload fields after them. Replica indices are zero-based;
 // single-network runs (Generate) report replica 0. Event names:
@@ -18,13 +18,17 @@ import "math"
 // sanitized: ±Inf and NaN (possible only for degenerate configurations)
 // are clamped to ±MaxFloat64 so every event is valid JSON.
 
-// RunStart describes an ensemble run about to execute.
+// RunStart describes an ensemble run about to execute. RunID (schema v2,
+// optional) is the caller-assigned correlation ID — cmd/coldd stamps its
+// per-request job ID here so a service log line joins to the run trace it
+// produced; it never influences generation.
 type RunStart struct {
-	Replicas int `json:"replicas"`
-	Workers  int `json:"workers"`
-	NumPoPs  int `json:"n"`
-	Pop      int `json:"pop"`
-	Gens     int `json:"gens"`
+	RunID    string `json:"run_id,omitempty"`
+	Replicas int    `json:"replicas"`
+	Workers  int    `json:"workers"`
+	NumPoPs  int    `json:"n"`
+	Pop      int    `json:"pop"`
+	Gens     int    `json:"gens"`
 }
 
 // ReplicaStart marks a replica beginning execution on a worker. QueueNs is
@@ -77,6 +81,7 @@ type ReplicaEnd struct {
 // over workers × wall time, in (0, 1]; the evaluator counters are totals
 // across every replica's evaluator at the moment the run finished.
 type RunEnd struct {
+	RunID       string            `json:"run_id,omitempty"` // schema v2; matches the run's run_start
 	Replicas    int               `json:"replicas"`
 	Workers     int               `json:"workers"`
 	DurNs       int64             `json:"dur_ns"`

@@ -1,0 +1,258 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryGoldenExposition pins the full text rendering: family order,
+// HELP/TYPE lines, label sorting and escaping, cumulative histogram
+// expansion, and the seconds scaling of nanosecond instruments.
+func TestRegistryGoldenExposition(t *testing.T) {
+	reg := NewRegistry()
+
+	var c Counter
+	c.Add(42)
+	reg.Counter("test_requests_total", "Requests served.", &c, L("route", "/v1/generate"))
+
+	var g Gauge
+	g.Set(-3)
+	reg.Gauge(`test_depth`, `Queue "depth" with \ and
+newline.`, &g)
+
+	h := NewHistogram([]float64{1, 2.5})
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(99)
+	reg.Histogram("test_sizes", "Sizes.", h)
+
+	d := NewHistogram([]float64{1e9})
+	d.Observe(5e8) // 0.5s
+	reg.DurationHistogram("test_wait_seconds", "Waits.", d)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP test_depth Queue "depth" with \\ and\nnewline.
+# TYPE test_depth gauge
+test_depth -3
+# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total{route="/v1/generate"} 42
+# HELP test_sizes Sizes.
+# TYPE test_sizes histogram
+test_sizes_bucket{le="1"} 1
+test_sizes_bucket{le="2.5"} 2
+test_sizes_bucket{le="+Inf"} 3
+test_sizes_sum 101.5
+test_sizes_count 3
+# HELP test_wait_seconds Waits.
+# TYPE test_wait_seconds histogram
+test_wait_seconds_bucket{le="1"} 1
+test_wait_seconds_bucket{le="+Inf"} 1
+test_wait_seconds_sum 0.5
+test_wait_seconds_count 1
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := LintExposition([]byte(got)); err != nil {
+		t.Errorf("golden output fails its own lint: %v", err)
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("0bad", "x", KindCounter, func(func(Sample)) {}); err == nil {
+		t.Error("invalid name accepted")
+	}
+	if err := reg.Register("ok_total", "x", KindCounter, nil); err == nil {
+		t.Error("nil collector accepted")
+	}
+	if err := reg.Register("ok_total", "x", KindCounter, func(func(Sample)) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("ok_total", "x", KindCounter, func(func(Sample)) {}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec([]float64{10}, "route", "status")
+	v.With("/a", "200").Observe(1)
+	v.With("/a", "200").Observe(2)
+	v.With("/a", "500").Observe(100)
+
+	reg := NewRegistry()
+	reg.HistogramVec("test_lat", "Latency.", v)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_lat_bucket{le="10",route="/a",status="200"} 2`,
+		`test_lat_count{route="/a",status="200"} 2`,
+		`test_lat_bucket{le="10",route="/a",status="500"} 0`,
+		`test_lat_sum{route="/a",status="500"} 100`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing series %q in:\n%s", want, out)
+		}
+	}
+	if err := LintExposition([]byte(out)); err != nil {
+		t.Errorf("vec output fails lint: %v", err)
+	}
+
+	var nilVec *HistogramVec
+	nilVec.With("x", "y").Observe(1) // must not panic
+
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestRegistryHandler(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	c.Inc()
+	reg.Counter("test_total", "T.", &c)
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 1\n") {
+		t.Errorf("body %q", rec.Body.String())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{1, "1"}, {2.5, "2.5"}, {math.Inf(1), "+Inf"}, {math.Inf(-1), "-Inf"},
+		{1e9, "1e+09"},
+	} {
+		if got := formatValue(tc.v); got != tc.want {
+			t.Errorf("formatValue(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	if got := formatValue(math.NaN()); got != "NaN" {
+		t.Errorf("formatValue(NaN) = %q", got)
+	}
+}
+
+// TestLintExposition exercises the table of structural violations the lint
+// must catch, and a valid document it must accept.
+func TestLintExposition(t *testing.T) {
+	valid := `# HELP a_total A.
+# TYPE a_total counter
+a_total{x="1"} 2
+a_total{x="2"} 3
+# HELP h H.
+# TYPE h histogram
+h_bucket{le="1"} 0
+h_bucket{le="+Inf"} 2
+h_sum 7.5
+h_count 2
+`
+	if err := LintExposition([]byte(valid)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"no family", "orphan_total 1\n", "no declared family"},
+		{"no help", "# TYPE x counter\nx 1\n", "no HELP line"},
+		{"duplicate series", "# HELP x X.\n# TYPE x counter\nx 1\nx 2\n", "duplicate series"},
+		{"duplicate help", "# HELP x X.\n# HELP x X.\n# TYPE x counter\nx 1\n", "duplicate HELP"},
+		{"help after sample", "# HELP x X.\n# TYPE x counter\nx 1\n# TYPE x counter\n", "after its samples"},
+		{"unsorted labels", "# HELP x X.\n# TYPE x counter\nx{b=\"1\",a=\"2\"} 1\n", "not sorted"},
+		{"bad value", "# HELP x X.\n# TYPE x counter\nx nope\n", "unparseable value"},
+		{"bad type", "# HELP x X.\n# TYPE x sidecounter\nx 1\n", "unknown metric type"},
+		{"suffix on counter", "# HELP x X.\n# TYPE x counter\nx_bucket{le=\"1\"} 1\n", "no declared family"},
+		{"malformed line", "# HELP x X.\n# TYPE x counter\nx{a=b} 1\n", "label"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := LintExposition([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("lint accepted:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestHistogramSnapshotConsistency is the -race hammer pinning the
+// snapshot-consistency fix: concurrent observers record a constant value
+// while readers snapshot, and every snapshot must satisfy
+// Count == Σ bucket counts and Sum == Count × value — the invariant a torn
+// sum/count read (the old CAS-float path) violates.
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3})
+	const (
+		writers = 4
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(2) // lands in bucket le=2; Sum must track 2×Count
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			s := h.Snapshot()
+			var sum uint64
+			for _, c := range s.Counts {
+				sum += c
+			}
+			if sum != s.Count {
+				t.Errorf("torn snapshot: Σcounts=%d, count=%d", sum, s.Count)
+				return
+			}
+			if want := 2 * float64(s.Count); s.Sum != want {
+				t.Errorf("torn snapshot: sum=%v, want %v for count=%d", s.Sum, want, s.Count)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	s := h.Snapshot()
+	if s.Count != writers*perG || s.Sum != 2*float64(writers*perG) {
+		t.Errorf("final snapshot count=%d sum=%v, want %d and %v", s.Count, s.Sum, writers*perG, 2.0*writers*perG)
+	}
+	if fmt.Sprint(s.Counts) != fmt.Sprintf("[0 %d 0 0]", writers*perG) {
+		t.Errorf("final buckets %v", s.Counts)
+	}
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+// LintExposition is the structural validator for Prometheus text format
+// that the exposition tests and the CI smoke (`make coldd-smoke`) run
+// against real /metrics scrapes. It is deliberately stricter than the
+// format grammar where this package's encoder makes guarantees: every
+// sample must belong to a family declared by HELP+TYPE lines appearing
+// first, series must be unique, and labels must be sorted by name.
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var seriesLineRE = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+-?\d+)?$`)
+
+// LintExposition validates data as Prometheus text exposition format and
+// returns the first structural problem found:
+//
+//   - every family has exactly one `# HELP` and one `# TYPE` line, both
+//     before any of its samples;
+//   - every sample line parses (name, optional labels, float value) and
+//     belongs to a declared family (histogram samples may use the
+//     `_bucket`/`_sum`/`_count` suffixes of a histogram-typed family);
+//   - no series (name plus full label set) appears twice;
+//   - labels within a series are sorted by name and label names are valid.
+func LintExposition(data []byte) error {
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	sampleSeen := map[string]bool{} // family has samples already
+	series := map[string]bool{}
+
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: comment is neither HELP nor TYPE: %q", lineNo, line)
+			}
+			name := fields[2]
+			if !metricNameRE.MatchString(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if sampleSeen[name] {
+				return fmt.Errorf("line %d: %s line for %q after its samples", lineNo, fields[1], name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if helpSeen[name] {
+					return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+				}
+				helpSeen[name] = true
+			case "TYPE":
+				if _, dup := typeSeen[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE line missing a type: %q", lineNo, line)
+				}
+				switch typ := fields[3]; typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					typeSeen[name] = typ
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+
+		m := seriesLineRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed series line: %q", lineNo, line)
+		}
+		name, labelBlock, value := m[1], m[2], m[3]
+		fam := lintFamily(name, typeSeen)
+		if fam == "" {
+			return fmt.Errorf("line %d: sample %q has no declared family", lineNo, name)
+		}
+		if !helpSeen[fam] {
+			return fmt.Errorf("line %d: family %q has samples but no HELP line", lineNo, fam)
+		}
+		sampleSeen[fam] = true
+
+		labels, err := lintLabels(labelBlock)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if !sort.SliceIsSorted(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name }) {
+			return fmt.Errorf("line %d: labels not sorted by name: %q", lineNo, labelBlock)
+		}
+		key := name + labelSignature(labels)
+		if series[key] {
+			return fmt.Errorf("line %d: duplicate series %s%s", lineNo, name, labelBlock)
+		}
+		series[key] = true
+
+		switch value {
+		case "+Inf", "-Inf", "NaN":
+		default:
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("line %d: unparseable value %q", lineNo, value)
+			}
+		}
+	}
+	return nil
+}
+
+// lintFamily resolves a sample name to its declared family, allowing the
+// histogram suffixes only on histogram-typed families (and summary
+// suffixes on summaries, for scrapes this package didn't produce).
+func lintFamily(name string, typeSeen map[string]string) string {
+	if _, ok := typeSeen[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		switch typeSeen[base] {
+		case "histogram":
+			return base
+		case "summary":
+			if suffix != "_bucket" {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// lintLabels parses a `{a="b",c="d"}` block (possibly empty) into labels.
+func lintLabels(block string) ([]Label, error) {
+	if block == "" {
+		return nil, nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return nil, fmt.Errorf("empty label block %q", block)
+	}
+	var labels []Label
+	rest := inner
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed labels %q", block)
+		}
+		name := rest[:eq]
+		if !labelNameRE.MatchString(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value in %q", block)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				val.WriteByte(rest[i+1])
+				i++
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value in %q", block)
+		}
+		labels = append(labels, Label{Name: name, Value: val.String()})
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			if rest == "" {
+				return nil, fmt.Errorf("trailing comma in %q", block)
+			}
+		} else if rest != "" {
+			return nil, fmt.Errorf("malformed labels %q", block)
+		}
+	}
+	return labels, nil
+}

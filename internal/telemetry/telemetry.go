@@ -5,9 +5,11 @@
 //
 // The package is deliberately passive. Instruments never consume random
 // numbers, never mutate the data they observe, and never block the caller
-// beyond an atomic operation (the JSONL recorder serializes writes with a
-// mutex, but it only sees coarse per-generation/per-replica events, never
-// per-evaluation calls). Components that record into it hold a nil-able
+// beyond an atomic operation or a stores-only mutex hold (histograms take a
+// short lock so their snapshots are internally consistent; the JSONL
+// recorder serializes writes with a mutex, but it only sees coarse
+// per-generation/per-replica events, never memoized per-evaluation
+// lookups). Components that record into it hold a nil-able
 // pointer and pay exactly one nil-check when telemetry is off — the
 // determinism contract "telemetry changes timings, never results" is
 // enforced by the identity tests in the root package.
@@ -27,8 +29,9 @@ import (
 // SchemaVersion identifies the JSONL trace-event schema. Every emitted line
 // carries it as "v"; consumers must check it before parsing the rest.
 // Version history: 1 — initial schema (run_start, replica_start,
-// generation, phase, replica_end, run_end).
-const SchemaVersion = 1
+// generation, phase, replica_end, run_end); 2 — run_start/run_end gain an
+// optional "run_id" correlating a trace with service request logs.
+const SchemaVersion = 2
 
 // Counter is a monotonically increasing atomic counter. The zero value is
 // ready to use; all methods are safe for concurrent use. A nil *Counter is
@@ -82,13 +85,19 @@ func (g *Gauge) Load() int64 {
 
 // Histogram counts observations into fixed buckets chosen at construction.
 // Bounds are upper bucket edges in ascending order; an implicit +Inf bucket
-// catches overflow. Observe is lock-free (atomic adds only) and safe for
-// concurrent use.
+// catches overflow. Observe serializes on a short mutex (bucket search
+// happens outside it, the critical section is three stores), which is what
+// makes Snapshot internally consistent: Count always equals the sum of the
+// bucket counts and Sum covers exactly the counted observations — the
+// invariant Prometheus exposition needs, pinned by
+// TestHistogramSnapshotConsistency under -race.
 type Histogram struct {
 	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; last is the +Inf bucket
+	count  uint64
+	sum    float64
 }
 
 // NewHistogram builds a histogram over the given ascending upper bucket
@@ -104,7 +113,7 @@ func NewHistogram(bounds []float64) *Histogram {
 		}
 	}
 	b := append([]float64(nil), bounds...)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
 }
 
 // DurationBuckets returns the default bucket bounds for wall-time
@@ -126,14 +135,11 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	for {
-		old := h.sum.Load()
-		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
-		}
-	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram's state. Counts
@@ -145,22 +151,20 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
-// Snapshot copies the histogram's current state. Buckets are read without a
-// global lock, so a snapshot taken during concurrent observation is
-// per-bucket consistent, not globally — fine for monitoring.
+// Snapshot copies the histogram's current state. The copy is internally
+// consistent even during concurrent observation: Count equals the sum of
+// Counts and Sum covers exactly those observations, so cumulative bucket
+// exposition never shows a torn sum/count pair.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
 	}
-	s := HistogramSnapshot{
-		Bounds: append([]float64(nil), h.bounds...),
-		Counts: make([]uint64, len(h.counts)),
-		Count:  h.count.Load(),
-		Sum:    math.Float64frombits(h.sum.Load()),
-	}
-	for i := range h.counts {
-		s.Counts[i] = h.counts[i].Load()
-	}
+	s := HistogramSnapshot{Bounds: append([]float64(nil), h.bounds...)}
+	h.mu.Lock()
+	s.Counts = append([]uint64(nil), h.counts...)
+	s.Count = h.count
+	s.Sum = h.sum
+	h.mu.Unlock()
 	return s
 }
 

@@ -2,6 +2,7 @@ package cold
 
 import (
 	"io"
+	"sort"
 	"sync"
 
 	"github.com/networksynth/cold/internal/core"
@@ -10,7 +11,7 @@ import (
 )
 
 // TraceSchemaVersion is the JSONL trace schema version stamped into every
-// event line as "v". The schema is documented in DESIGN.md ("Telemetry").
+// event line as "v". The schema is documented in DESIGN.md ("Observability").
 const TraceSchemaVersion = telemetry.SchemaVersion
 
 // EvalStats are the cost evaluator's counters: memoization effectiveness,
@@ -168,8 +169,20 @@ type TelemetrySnapshot struct {
 // generated networks: instruments observe the clock and already-computed
 // state, never the random streams (TestTelemetryDoesNotChangeResults
 // enforces this bit-for-bit).
+//
+// A Telemetry is a handle: the instruments live in a shared core, while the
+// trace sink is per-handle. WithTrace derives additional handles that fold
+// counters into the same aggregate but write their trace events to their
+// own sink — how cmd/coldd keeps one service-wide metric surface while
+// giving every job its own trace file.
 type Telemetry struct {
-	rec     *telemetry.JSONLRecorder
+	rec *telemetry.JSONLRecorder
+	*telemetryInstruments
+}
+
+// telemetryInstruments is the shared-core state behind one or more
+// Telemetry handles.
+type telemetryInstruments struct {
 	evalDur *telemetry.Histogram
 
 	runs            telemetry.Counter
@@ -187,7 +200,9 @@ type Telemetry struct {
 
 // NewTelemetry returns a ready Telemetry with no trace sink attached.
 func NewTelemetry() *Telemetry {
-	return &Telemetry{evalDur: telemetry.NewHistogram(telemetry.DurationBuckets())}
+	return &Telemetry{telemetryInstruments: &telemetryInstruments{
+		evalDur: telemetry.NewHistogram(telemetry.DurationBuckets()),
+	}}
 }
 
 // TraceTo attaches a JSONL trace sink: one JSON object per line, each
@@ -201,6 +216,16 @@ func NewTelemetry() *Telemetry {
 func (t *Telemetry) TraceTo(w io.Writer) *Telemetry {
 	t.rec = telemetry.NewJSONL(w)
 	return t
+}
+
+// WithTrace returns a derived handle that shares t's instruments (every
+// counter, gauge and histogram — and therefore Snapshot and
+// RegisterMetrics output) but writes JSONL trace events to its own sink.
+// Use it to give each run its own trace file while aggregating metrics
+// service-wide; pair with Config.RunID so the trace carries a correlation
+// ID. The receiver must be non-nil.
+func (t *Telemetry) WithTrace(w io.Writer) *Telemetry {
+	return &Telemetry{rec: telemetry.NewJSONL(w), telemetryInstruments: t.telemetryInstruments}
 }
 
 // TraceErr returns the first error the trace sink hit, or nil (also when
@@ -243,6 +268,70 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 	}
 }
 
+// RegisterMetrics publishes every engine instrument into reg under the
+// documented cold_* Prometheus names (DESIGN.md, "Observability"): run and
+// replica counters, GA generation and evaluation totals, the evaluator's
+// aggregated cache/delta/base counters (with delta fallbacks labeled by
+// reason), and the evaluation latency histogram, exposed in seconds per
+// the Prometheus base-unit convention. Values are read at scrape time from
+// the same consistent snapshots Snapshot uses. The receiver must be
+// non-nil; in-module consumers (cmd/coldd, internal/diag) serve the
+// registry as GET /metrics.
+func (t *Telemetry) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("cold_runs_total", "Ensemble runs started.", &t.runs)
+	reg.Counter("cold_replicas_started_total", "Replicas picked up by a worker.", &t.replicasStarted)
+	reg.Counter("cold_replicas_done_total", "Replicas finished, including failed ones.", &t.replicasDone)
+	reg.Gauge("cold_active_replicas", "Replicas currently executing.", &t.activeReplicas)
+	reg.Counter("cold_ga_generations_total", "GA generations completed across all replicas.", &t.generations)
+	reg.Counter("cold_evaluations_total", "Cost-function calls, including memoized lookups.", &t.evaluations)
+	reg.CounterFunc("cold_replica_busy_seconds_total", "Total replica wall time.",
+		func() float64 { return float64(t.busyNs.Load()) / 1e9 })
+	reg.CounterFunc("cold_replica_queue_wait_seconds_total", "Total replica wait between eligibility and worker pickup.",
+		func() float64 { return float64(t.queueNs.Load()) / 1e9 })
+	reg.DurationHistogram("cold_eval_duration_seconds", "Wall time of real (non-memoized) cost evaluations.", t.evalDur)
+
+	agg := func(get func(EvalStats) uint64) func() float64 {
+		return func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return float64(get(t.agg))
+		}
+	}
+	reg.CounterFunc("cold_eval_cache_hits_total", "Evaluator memo-cache hits (finished replicas).",
+		agg(func(s EvalStats) uint64 { return s.CacheHits }))
+	reg.CounterFunc("cold_eval_cache_misses_total", "Evaluator memo-cache misses (finished replicas).",
+		agg(func(s EvalStats) uint64 { return s.CacheMisses }))
+	reg.CounterFunc("cold_eval_full_sweeps_total", "All-sources shortest-path sweeps, including base priming.",
+		agg(func(s EvalStats) uint64 { return s.FullSweeps }))
+	reg.CounterFunc("cold_eval_delta_total", "Evaluations served incrementally by the delta path.",
+		agg(func(s EvalStats) uint64 { return s.DeltaEvals }))
+	reg.CounterFunc("cold_eval_csr_builds_total", "Flat-memory CSR graph snapshots built.",
+		agg(func(s EvalStats) uint64 { return s.CSRBuilds }))
+	reg.CounterFunc("cold_eval_base_hits_total", "Delta requests served from a retained routing base.",
+		agg(func(s EvalStats) uint64 { return s.BaseHits }))
+	reg.CounterFunc("cold_eval_base_misses_total", "Delta requests with no retained base within the edge budget.",
+		agg(func(s EvalStats) uint64 { return s.BaseMisses }))
+	reg.CounterFunc("cold_eval_base_evictions_total", "Routing bases evicted past the MaxBases cap.",
+		agg(func(s EvalStats) uint64 { return s.BaseEvictions }))
+	reg.MustRegister("cold_eval_delta_fallbacks_total", "Delta requests that fell back to a full sweep, by reason.",
+		telemetry.KindCounter, func(emit func(telemetry.Sample)) {
+			t.mu.Lock()
+			fallbacks := t.agg.clone().Fallbacks
+			t.mu.Unlock()
+			reasons := make([]string, 0, len(fallbacks))
+			for r := range fallbacks {
+				reasons = append(reasons, r)
+			}
+			sort.Strings(reasons)
+			for _, r := range reasons {
+				emit(telemetry.Sample{
+					Labels: []telemetry.Label{telemetry.L("reason", r)},
+					Value:  float64(fallbacks[r]),
+				})
+			}
+		})
+}
+
 // record emits one trace event when a sink is attached.
 func (t *Telemetry) record(name string, payload any) {
 	if t == nil || t.rec == nil {
@@ -263,6 +352,7 @@ func (t *Telemetry) addEvalStats(s cost.Stats) {
 // tracker (telemetry off) is inert.
 type runTracker struct {
 	t        *Telemetry
+	runID    string
 	replicas int
 	workers  int
 	span     telemetry.Span
@@ -286,13 +376,14 @@ func (t *Telemetry) startRun(replicas, workers int, cfg Config) *runTracker {
 		settings.Generations = cfg.Optimizer.Generations
 	}
 	t.record("run_start", telemetry.RunStart{
+		RunID:    cfg.RunID,
 		Replicas: replicas,
 		Workers:  workers,
 		NumPoPs:  cfg.NumPoPs,
 		Pop:      settings.PopulationSize,
 		Gens:     settings.Generations,
 	})
-	return &runTracker{t: t, replicas: replicas, workers: workers, span: telemetry.StartSpan()}
+	return &runTracker{t: t, runID: cfg.RunID, replicas: replicas, workers: workers, span: telemetry.StartSpan()}
 }
 
 // end closes the run scope and emits run_end with utilization and the
@@ -311,6 +402,7 @@ func (r *runTracker) end() {
 	agg := r.agg
 	r.mu.Unlock()
 	r.t.record("run_end", telemetry.RunEnd{
+		RunID:         r.runID,
 		Replicas:      r.replicas,
 		Workers:       r.workers,
 		DurNs:         dur,

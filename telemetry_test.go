@@ -5,9 +5,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/networksynth/cold/internal/telemetry"
 )
 
 // exportBytes marshals a network to its canonical JSON export.
@@ -281,5 +284,139 @@ func TestEnsembleProgressStopsAfterCancel(t *testing.T) {
 	defer mu.Unlock()
 	if late {
 		t.Fatal("Progress called after GenerateEnsembleContext returned")
+	}
+}
+
+// TestRunIDCorrelation pins the schema-v2 correlation field: Config.RunID
+// is stamped into run_start and run_end (and nothing else), does not
+// affect the canonical hash, and is omitted entirely when empty.
+func TestRunIDCorrelation(t *testing.T) {
+	var trace bytes.Buffer
+	tel := NewTelemetry().TraceTo(&trace)
+	cfg := fastConfig(9, 2)
+	cfg.Telemetry = tel
+	cfg.RunID = "job-0042"
+	if _, err := GenerateEnsemble(cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	type event struct {
+		Event string  `json:"event"`
+		RunID *string `json:"run_id"`
+	}
+	sc := bufio.NewScanner(bytes.NewReader(trace.Bytes()))
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		switch e.Event {
+		case "run_start", "run_end":
+			if e.RunID == nil || *e.RunID != "job-0042" {
+				t.Fatalf("%s run_id = %v, want job-0042", e.Event, e.RunID)
+			}
+		default:
+			if e.RunID != nil {
+				t.Fatalf("%s must not carry run_id", e.Event)
+			}
+		}
+	}
+
+	// RunID is execution-only: same canonical hash with and without it.
+	with, without := fastConfig(9, 2), fastConfig(9, 2)
+	with.RunID = "job-0042"
+	h1, err := with.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := without.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("RunID must not change the canonical config hash")
+	}
+
+	// And with no RunID, the field is omitted from the JSON entirely.
+	var clean bytes.Buffer
+	cfg2 := fastConfig(9, 2)
+	cfg2.Telemetry = NewTelemetry().TraceTo(&clean)
+	if _, err := GenerateEnsemble(cfg2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(clean.Bytes(), []byte("run_id")) {
+		t.Fatal("empty RunID must be omitted from trace events")
+	}
+}
+
+// TestWithTraceSharesInstruments: derived handles write separate traces
+// but aggregate into the same counters — the coldd pattern of one metric
+// surface with a trace file per job.
+func TestWithTraceSharesInstruments(t *testing.T) {
+	tel := NewTelemetry()
+	var traceA, traceB bytes.Buffer
+
+	cfgA := fastConfig(9, 2)
+	cfgA.Telemetry = tel.WithTrace(&traceA)
+	cfgA.RunID = "a"
+	if _, err := GenerateEnsemble(cfgA, 2); err != nil {
+		t.Fatal(err)
+	}
+	cfgB := fastConfig(9, 3)
+	cfgB.Telemetry = tel.WithTrace(&traceB)
+	cfgB.RunID = "b"
+	if _, err := GenerateEnsemble(cfgB, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	if s := tel.Snapshot(); s.Runs != 2 || s.ReplicasDone != 3 {
+		t.Fatalf("shared instruments saw runs=%d replicas=%d, want 2 and 3", s.Runs, s.ReplicasDone)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"a": &traceA, "b": &traceB} {
+		if !bytes.Contains(buf.Bytes(), []byte(`"run_id":"`+name+`"`)) {
+			t.Fatalf("trace %s missing its own run_id", name)
+		}
+		other := "b"
+		if name == "b" {
+			other = "a"
+		}
+		if bytes.Contains(buf.Bytes(), []byte(`"run_id":"`+other+`"`)) {
+			t.Fatalf("trace %s contains events of run %s", name, other)
+		}
+	}
+	if tel.rec != nil {
+		t.Fatal("WithTrace must not attach a sink to the parent handle")
+	}
+}
+
+// TestRegisterMetricsExposition: the engine's registered metric surface
+// renders to lintable exposition text with the documented families.
+func TestRegisterMetricsExposition(t *testing.T) {
+	tel := NewTelemetry()
+	cfg := fastConfig(9, 2)
+	cfg.Telemetry = tel
+	if _, err := GenerateEnsemble(cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tel.RegisterMetrics(reg)
+	var out bytes.Buffer
+	if err := reg.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.LintExposition(out.Bytes()); err != nil {
+		t.Fatalf("exposition fails lint: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"cold_runs_total 1",
+		"cold_replicas_done_total 2",
+		"cold_active_replicas 0",
+		"cold_eval_duration_seconds_bucket{le=",
+		"cold_eval_cache_misses_total",
+		"cold_replica_busy_seconds_total",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }
