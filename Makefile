@@ -63,15 +63,18 @@ validate-smoke:
 	$(GO) run ./cmd/coldbench -trials 2 -n 10 -pop 12 -gens 8 -bootstrap 200 \
 		-validate-count 1000 -validate-records VALIDATE_COLD.jsonl validate
 
-# End-to-end smoke of the coldd generation service: builds the real
-# binary, starts it on a free port, POSTs the same config twice and
-# asserts the second response is a pure cache hit (byte-identical body,
+# End-to-end smokes of the coldd generation service against the real
+# built binary. TestColddSmoke: POSTs the same config twice and asserts
+# the second response is a pure cache hit (byte-identical body,
 # cache_hits=1, generations=1 in /v1/stats), scrapes /metrics through
 # the exposition-format lint, checks the per-job JSONL trace file and
-# /healthz build identity, then checks clean shutdown on SIGINT. CI
-# runs this after `make check`.
+# /healthz build identity, then checks clean shutdown on SIGTERM.
+# TestColddRestartSmoke: SIGKILLs the daemon mid-ensemble once a
+# checkpoint file exists, restarts it over the same cache, and asserts
+# the job resumes (resume counters in /v1/stats and /metrics) with a
+# byte-identical final artifact. CI runs both after `make check`.
 coldd-smoke:
-	$(GO) test ./cmd/coldd -run TestColddSmoke -count=1 -v
+	$(GO) test ./cmd/coldd -run 'TestColdd' -count=1 -v
 
 # Trace round-trip smoke: record a real JSONL telemetry trace with
 # coldgen, then make `coldstats trace` parse and summarize it. CI runs

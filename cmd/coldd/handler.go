@@ -246,9 +246,11 @@ func (s *server) streamJob(w http.ResponseWriter, r *http.Request, j *job, hash 
 // status code.
 func (s *server) writeJobError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, errShutdown):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The job's context died under us (server shutdown, or the job was
-		// abandoned in the instant before we boarded it).
+		// The job's context died under us (the job was abandoned in the
+		// instant before we boarded it).
 		httpError(w, http.StatusServiceUnavailable, "generation canceled: %v", err)
 	case errors.Is(err, cold.ErrInvalidConfig):
 		httpError(w, http.StatusBadRequest, "%v", err)

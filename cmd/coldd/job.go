@@ -55,6 +55,28 @@ func (j *job) append(line []byte) {
 	j.mu.Unlock()
 }
 
+// prefill seeds the buffer with a resumed checkpoint's bytes — lines
+// complete artifact lines — before generation restarts at replica lines.
+// Tailing readers see the replayed prefix immediately; determinism makes
+// it byte-identical to the lines a fresh run would stream. The runner
+// calls this at most once, before any append.
+func (j *job) prefill(data []byte, lines int) {
+	j.mu.Lock()
+	j.buf = append(j.buf, data...)
+	j.lines = lines
+	j.wake()
+	j.mu.Unlock()
+}
+
+// progress returns the artifact bytes and complete-line count accumulated
+// so far. The returned slice aliases the grow-only buffer: safe to read
+// concurrently with appends (they extend, never mutate, emitted bytes).
+func (j *job) progress() ([]byte, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.buf[:len(j.buf):len(j.buf)], j.lines
+}
+
 // finish marks the job done (err nil on success) and wakes all readers.
 func (j *job) finish(err error) {
 	j.mu.Lock()

@@ -42,6 +42,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"github.com/networksynth/cold/internal/diag"
@@ -92,6 +93,7 @@ func run() error {
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log encoding: text, json")
 	traceDir := flag.String("trace-dir", "", "write one JSONL telemetry trace per generation job to this directory (file name = job ID)")
+	ckptEvery := flag.Int("checkpoint-every", 16, "persist a resumable checkpoint of each in-flight ensemble every this-many replicas (0 disables crash recovery)")
 	flag.Parse()
 
 	logger, err := newLogger(*logLevel, *logFormat)
@@ -109,20 +111,27 @@ func run() error {
 		return err
 	}
 
-	// SIGINT/SIGTERM drain the server and cancel in-flight generations.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM drain the server and cancel in-flight generations
+	// (both signals behave identically). The jobs' base context is
+	// deliberately NOT the signal context: the drain sequence below tags
+	// the shutdown first (beginShutdown), then cancels jobs, so mid-stream
+	// clients get the documented shutdown error instead of a generic one.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	jobsCtx, cancelJobs := context.WithCancel(context.Background())
+	defer cancelJobs()
 
 	s := newServer(serverOptions{
-		store:      st,
-		base:       ctx,
-		jobs:       *jobs,
-		queueDepth: *queueDepth,
-		parallel:   *parallel,
-		maxCount:   *maxCount,
-		maxPoPs:    *maxPoPs,
-		logger:     logger,
-		traceDir:   *traceDir,
+		store:           st,
+		base:            jobsCtx,
+		jobs:            *jobs,
+		queueDepth:      *queueDepth,
+		parallel:        *parallel,
+		maxCount:        *maxCount,
+		maxPoPs:         *maxPoPs,
+		logger:          logger,
+		traceDir:        *traceDir,
+		checkpointEvery: *ckptEvery,
 	})
 	diag.Publish(func() any { return s.tel.Snapshot() })
 
@@ -140,10 +149,19 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
+	// Drain: flag the shutdown, cancel in-flight generations (tagged jobs
+	// fail with the shutdown error, checkpointing on the way down), let the
+	// HTTP server finish writing those error responses, then wait for the
+	// runner goroutines' final checkpoints and trace flushes.
+	s.beginShutdown()
+	cancelJobs()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
+	}
+	if err := s.drainJobs(shutdownCtx); err != nil {
+		logger.Warn("shutdown drain timed out", "err", err)
 	}
 	fmt.Fprintln(os.Stderr, "coldd: shut down")
 	return nil

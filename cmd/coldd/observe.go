@@ -152,6 +152,9 @@ func (s *server) registerMetrics(reg *telemetry.Registry) {
 	reg.Counter("cold_generation_jobs_total", "Jobs that entered the generator.", &s.generations)
 	reg.Counter("cold_queue_full_total", "Requests shed with 429 because the job queue was full.", &s.queueFull)
 	reg.Counter("cold_jobs_canceled_total", "Jobs canceled before completing (abandoned or shut down).", &s.canceled)
+	reg.Counter("cold_checkpoint_writes_total", "Ensemble checkpoints persisted to the artifact store.", &s.ckptWrites)
+	reg.Counter("cold_checkpoint_resumes_total", "Jobs resumed from a persisted checkpoint.", &s.ckptResumes)
+	reg.Counter("cold_checkpoint_resumed_replicas_total", "Replicas restored from checkpoints instead of regenerated.", &s.ckptResumedReplicas)
 	reg.GaugeFunc("cold_queue_depth", "Admitted jobs (running + waiting for a slot).",
 		func() float64 { return float64(s.q.depth()) })
 

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	cold "github.com/networksynth/cold"
@@ -42,6 +43,13 @@ type serverOptions struct {
 	maxPoPs    int             // per-request NumPoPs bound
 	logger     *slog.Logger    // structured request/job log (nil = discard)
 	traceDir   string          // per-job JSONL trace directory ("" = no traces)
+
+	// checkpointEvery persists a job's in-order line buffer as a partial
+	// store artifact after every this-many replicas (and once more on a
+	// cancelled job's way down), so a daemon restart resumes generation at
+	// the checkpoint instead of starting over. 0 disables checkpointing
+	// (and resume probing) entirely.
+	checkpointEvery int
 }
 
 // server is the coldd HTTP daemon: a bounded job queue feeding the cold
@@ -59,6 +67,14 @@ type server struct {
 	mu   sync.Mutex
 	jobs map[string]*job
 
+	// draining is set by beginShutdown before the base context is
+	// cancelled, tagging job failures on the way down as shutdown-caused
+	// (errShutdown → the documented 503) rather than generic errors.
+	// runners tracks live run goroutines so drainJobs can wait for their
+	// final checkpoints and trace flushes.
+	draining atomic.Bool
+	runners  sync.WaitGroup
+
 	requests    telemetry.Counter
 	badRequests telemetry.Counter
 	cacheHits   telemetry.Counter // served straight from the artifact store
@@ -67,6 +83,10 @@ type server struct {
 	generations telemetry.Counter // jobs that actually entered the generator
 	queueFull   telemetry.Counter
 	canceled    telemetry.Counter
+
+	ckptWrites          telemetry.Counter // checkpoints persisted to the store
+	ckptResumes         telemetry.Counter // jobs that resumed from a checkpoint
+	ckptResumedReplicas telemetry.Counter // replicas restored instead of regenerated
 
 	reqDur    *telemetry.HistogramVec // request wall time by route/status
 	respBytes *telemetry.Histogram    // response body sizes
@@ -137,23 +157,63 @@ func (s *server) lookup(cfg cold.Config, count int, key, reqID string) (data []b
 	s.jobs[key] = nj
 	s.cacheMisses.Inc()
 	s.log.Info("job queued", "job_id", nj.id, "key", key, "count", count)
+	s.runners.Add(1)
 	go s.run(ctx, nj, cfg, count)
 	return nil, nj, nil
 }
 
-// run executes one generation job: wait for a queue slot, stream replicas
-// into the job buffer in replica order, persist the finished artifact.
-// With -trace-dir set, the generation writes a JSONL trace to
+// errShutdown tags job failures caused by the daemon draining; the
+// handler maps it to the documented 503 so clients can distinguish "try
+// another instance" from a real generation error.
+var errShutdown = errors.New("coldd: shutting down")
+
+// beginShutdown marks the drain. Call it BEFORE cancelling the jobs' base
+// context: the flag is what lets run distinguish a shutdown-caused
+// cancellation (mapped to errShutdown/503, checkpointed on the way down)
+// from a client abandoning its job.
+func (s *server) beginShutdown() { s.draining.Store(true) }
+
+// drainJobs blocks until every run goroutine has finished — final
+// checkpoints persisted, trace files flushed — or ctx expires.
+func (s *server) drainJobs(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.runners.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// jobErr tags cancellation errors that were caused by the drain.
+func (s *server) jobErr(err error) error {
+	if s.draining.Load() && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return fmt.Errorf("%w (%v)", errShutdown, err)
+	}
+	return err
+}
+
+// run executes one generation job: wait for a queue slot, resume from the
+// newest valid checkpoint if one exists, stream replicas into the job
+// buffer in replica order, checkpoint the buffer every
+// opts.checkpointEvery replicas (and on a cancelled job's way down), and
+// on completion promote the artifact to its final key and delete the
+// checkpoint. With -trace-dir set, the generation writes a JSONL trace to
 // <dir>/<job_id>.jsonl, its run_start/run_end stamped with the job ID
 // (Config.RunID) so log lines and trace files cross-reference.
 func (s *server) run(ctx context.Context, j *job, cfg cold.Config, count int) {
+	defer s.runners.Done()
 	defer s.detach(j)
 	defer s.q.leave()
 	queued := time.Now()
 	if err := s.q.wait(ctx); err != nil {
 		s.canceled.Inc()
 		s.log.Info("job canceled while queued", "job_id", j.id, "queue_wait", time.Since(queued))
-		j.finish(err)
+		j.finish(s.jobErr(err))
 		return
 	}
 	defer s.q.release()
@@ -168,26 +228,74 @@ func (s *server) run(ctx context.Context, j *job, cfg cold.Config, count int) {
 	cfg.Parallelism = s.opts.parallel
 	cfg.Progress = nil
 	cfg.Telemetry, cfg.RunID = s.jobTelemetry(j)
-	err := cold.GenerateEnsembleStream(ctx, cfg, count, func(i int, nw *cold.Network) error {
+
+	// Resume: replay the newest valid checkpoint's lines into the tail
+	// buffer (clients see them immediately — determinism makes the replay
+	// byte-identical to regeneration) and restart generation at replica
+	// `from`. A checkpoint can never cover the whole ensemble (complete
+	// runs are promoted and their partials deleted), but guard anyway.
+	from := 0
+	if s.opts.checkpointEvery > 0 {
+		if data, lines, err := s.store.NewestPartial(j.key); err == nil && lines < count {
+			j.prefill(data, lines)
+			from = lines
+			s.ckptResumes.Inc()
+			s.ckptResumedReplicas.Add(uint64(lines))
+			s.log.Info("job resumed", "job_id", j.id, "key", j.key, "resumed_from", lines)
+		}
+	}
+
+	lastCkpt := from
+	checkpoint := func() {
+		data, lines := j.progress()
+		if lines <= lastCkpt || lines >= count {
+			return // nothing new, or the full artifact (promotion handles it)
+		}
+		if perr := s.store.PutPartial(j.key, lines, data); perr != nil {
+			// Checkpointing is best-effort insurance; generation goes on.
+			s.log.Warn("job checkpoint failed", "job_id", j.id, "key", j.key, "err", perr)
+			return
+		}
+		lastCkpt = lines
+		s.ckptWrites.Inc()
+		cfg.Telemetry.RecordCheckpoint(cfg.RunID, lines, from, len(data))
+		s.log.Debug("job checkpoint", "job_id", j.id, "key", j.key, "replicas", lines, "bytes", len(data))
+	}
+
+	err := cold.GenerateEnsembleStreamFrom(ctx, cfg, count, from, func(i int, nw *cold.Network) error {
 		line, err := json.Marshal(nw)
 		if err != nil {
 			return err
 		}
 		j.append(append(line, '\n'))
+		if every := s.opts.checkpointEvery; every > 0 && i+1-lastCkpt >= every {
+			checkpoint()
+		}
 		return nil
 	})
+	if err != nil && s.opts.checkpointEvery > 0 {
+		// One last checkpoint on the way down (shutdown drain, abandoned
+		// job) so a restart resumes here instead of regenerating.
+		checkpoint()
+	}
 	if flush := j.flushTrace; flush != nil {
 		if terr := flush(); terr != nil {
 			s.log.Warn("job trace", "job_id", j.id, "err", terr)
 		}
 	}
 	if err != nil {
+		err = s.jobErr(err)
 		outcome := "error"
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, errShutdown):
+			s.canceled.Inc()
+			outcome = "shutdown"
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			s.canceled.Inc()
 			outcome = "canceled"
 		}
-		s.log.Info("job finished", "job_id", j.id, "outcome", outcome, "dur", time.Since(start), "err", err)
+		s.log.Info("job finished", "job_id", j.id, "outcome", outcome, "dur", time.Since(start),
+			"resumed_from", from, "err", err)
 		j.finish(err)
 		return
 	}
@@ -196,9 +304,13 @@ func (s *server) run(ctx context.Context, j *job, cfg cold.Config, count int) {
 		// A cache write failure degrades future requests to regeneration;
 		// this one still has its bytes.
 		s.log.Warn("job artifact not cached", "job_id", j.id, "key", j.key, "err", perr)
+	} else if s.opts.checkpointEvery > 0 {
+		if derr := s.store.DeletePartials(j.key); derr != nil {
+			s.log.Warn("job checkpoint cleanup", "job_id", j.id, "key", j.key, "err", derr)
+		}
 	}
 	s.log.Info("job finished", "job_id", j.id, "outcome", "ok", "dur", time.Since(start),
-		"replicas", count, "bytes", len(data))
+		"replicas", count, "resumed_from", from, "bytes", len(data))
 	j.finish(nil)
 }
 
@@ -252,7 +364,13 @@ type statsResponse struct {
 	Generations        uint64 `json:"generations"`
 	QueueFull          uint64 `json:"queue_full"`
 	Canceled           uint64 `json:"canceled"`
-	ActiveJobs         int    `json:"active_jobs"` // admitted: running + waiting
+	// Checkpoint/resume counters (crash recovery): partial-artifact writes,
+	// jobs that resumed from one, and replicas restored instead of
+	// regenerated.
+	CheckpointWrites          uint64 `json:"checkpoint_writes"`
+	CheckpointResumes         uint64 `json:"checkpoint_resumes"`
+	CheckpointResumedReplicas uint64 `json:"checkpoint_resumed_replicas"`
+	ActiveJobs                int    `json:"active_jobs"` // admitted: running + waiting
 	// QueueWaitNs/QueueWaits cover only waits that won a slot; canceled
 	// (abandoned-while-queued) waits are reported separately so the average
 	// queue wait is not skewed by client patience.
@@ -268,20 +386,23 @@ type statsResponse struct {
 func (s *server) stats() statsResponse {
 	waitNs, waits, canceledNs, canceledWaits := s.q.waitNs.snapshot()
 	return statsResponse{
-		Requests:            s.requests.Load(),
-		BadRequests:         s.badRequests.Load(),
-		CacheHits:           s.cacheHits.Load(),
-		CacheMisses:         s.cacheMisses.Load(),
-		SingleflightShared:  s.sfShared.Load(),
-		Generations:         s.generations.Load(),
-		QueueFull:           s.queueFull.Load(),
-		Canceled:            s.canceled.Load(),
-		ActiveJobs:          s.q.depth(),
-		QueueWaitNs:         waitNs,
-		QueueWaits:          waits,
-		QueueCanceledWaitNs: canceledNs,
-		QueueCanceledWaits:  canceledWaits,
-		Store:               s.store.Stats(),
-		Telemetry:           s.tel.Snapshot(),
+		Requests:                  s.requests.Load(),
+		BadRequests:               s.badRequests.Load(),
+		CacheHits:                 s.cacheHits.Load(),
+		CacheMisses:               s.cacheMisses.Load(),
+		SingleflightShared:        s.sfShared.Load(),
+		Generations:               s.generations.Load(),
+		QueueFull:                 s.queueFull.Load(),
+		Canceled:                  s.canceled.Load(),
+		CheckpointWrites:          s.ckptWrites.Load(),
+		CheckpointResumes:         s.ckptResumes.Load(),
+		CheckpointResumedReplicas: s.ckptResumedReplicas.Load(),
+		ActiveJobs:                s.q.depth(),
+		QueueWaitNs:               waitNs,
+		QueueWaits:                waits,
+		QueueCanceledWaitNs:       canceledNs,
+		QueueCanceledWaits:        canceledWaits,
+		Store:                     s.store.Stats(),
+		Telemetry:                 s.tel.Snapshot(),
 	}
 }

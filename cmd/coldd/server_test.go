@@ -19,15 +19,17 @@ import (
 	"github.com/networksynth/cold/internal/telemetry"
 )
 
-// newTestServer builds a server over a fresh temp store and returns it with
-// a live httptest front end.
+// newTestServer builds a server over a fresh temp store (or opts.store if
+// pre-set) and returns it with a live httptest front end.
 func newTestServer(t *testing.T, opts serverOptions) (*server, *httptest.Server) {
 	t.Helper()
-	st, err := store.Open(t.TempDir(), store.Options{})
-	if err != nil {
-		t.Fatal(err)
+	if opts.store == nil {
+		st, err := store.Open(t.TempDir(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.store = st
 	}
-	opts.store = st
 	if opts.jobs == 0 {
 		opts.jobs = 1
 	}
@@ -483,6 +485,173 @@ func TestRequestIDTraceCorrelation(t *testing.T) {
 	}
 	if len(files) != 1 {
 		t.Fatalf("trace dir has %d files after a cache hit, want 1", len(files))
+	}
+}
+
+// TestResumeFromCheckpoint is the crash-recovery acceptance path: a job
+// whose key has a valid partial checkpoint replays it and generates only
+// the remaining replicas, and the response is byte-identical to an
+// uninterrupted run.
+func TestResumeFromCheckpoint(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The library reference for tinyBody(101, 4).
+	cfg := cold.Config{NumPoPs: 8, Seed: 101, Parallelism: 1,
+		Optimizer: cold.OptimizerSpec{PopulationSize: 8, Generations: 4}}
+	nets, err := cold.GenerateEnsemble(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, nw := range nets {
+		b, err := json.Marshal(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Write(b)
+		want.WriteByte('\n')
+	}
+	hash, err := cfg.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := artifactKey(hash, 4)
+	// Fabricate the checkpoint a crashed daemon would have left: the first
+	// 2 of 4 artifact lines.
+	lines := bytes.SplitAfter(want.Bytes(), []byte("\n"))
+	prefix := append(append([]byte{}, lines[0]...), lines[1]...)
+	if err := st.PutPartial(key, 2, prefix); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, serverOptions{store: st, checkpointEvery: 2})
+	resp := post(t, ts, tinyBody(101, 4))
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Fatal("resumed response differs from an uninterrupted run")
+	}
+	stats := getStats(t, ts)
+	if stats.CheckpointResumes != 1 || stats.CheckpointResumedReplicas != 2 {
+		t.Errorf("resumes=%d resumed_replicas=%d, want 1/2",
+			stats.CheckpointResumes, stats.CheckpointResumedReplicas)
+	}
+	// Completion promoted the artifact and deleted the checkpoint.
+	if stats.Store.Partials != 0 {
+		t.Errorf("partials = %d after promotion, want 0", stats.Store.Partials)
+	}
+	second := post(t, ts, tinyBody(101, 4))
+	if got := second.Header.Get("X-Cold-Cache"); got != "hit" {
+		t.Errorf("post-resume request cache = %q, want hit", got)
+	}
+	readAll(t, second)
+}
+
+// TestCheckpointWriteAndPromote: with checkpointing enabled, a job writes
+// partials as it streams and leaves none behind once promoted.
+func TestCheckpointWriteAndPromote(t *testing.T) {
+	s, ts := newTestServer(t, serverOptions{checkpointEvery: 1})
+	resp := post(t, ts, tinyBody(102, 3))
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	stats := getStats(t, ts)
+	// Replicas 1 and 2 checkpoint; the full artifact (3 lines) never does —
+	// promotion covers it.
+	if stats.CheckpointWrites != 2 {
+		t.Errorf("checkpoint_writes = %d, want 2", stats.CheckpointWrites)
+	}
+	if stats.CheckpointResumes != 0 {
+		t.Errorf("checkpoint_resumes = %d, want 0", stats.CheckpointResumes)
+	}
+	if stats.Store.Partials != 0 {
+		t.Errorf("partials = %d after success, want 0", stats.Store.Partials)
+	}
+	hash := resp.Header.Get("X-Cold-Config-Hash")
+	if ok, err := s.store.Has(artifactKey(hash, 3)); err != nil || !ok {
+		t.Errorf("final artifact missing after promotion: %v, %v", ok, err)
+	}
+}
+
+// TestShutdownDrain503: a request whose job dies to the shutdown drain gets
+// the documented 503 (pre-byte) with the shutdown error, not a generic 500.
+func TestShutdownDrain503(t *testing.T) {
+	base, cancelJobs := context.WithCancel(context.Background())
+	defer cancelJobs()
+	s, ts := newTestServer(t, serverOptions{base: base, jobs: 1})
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp := post(t, ts, slowBody(41))
+		resc <- result{resp.StatusCode, readAll(t, resp)}
+	}()
+	waitStats(t, ts, "slow job to start", func(st statsResponse) bool { return st.Generations == 1 })
+	s.beginShutdown()
+	cancelJobs()
+	r := <-resc
+	if r.status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", r.status, r.body)
+	}
+	if !strings.Contains(string(r.body), "shutting down") {
+		t.Fatalf("body should carry the shutdown error: %s", r.body)
+	}
+	if err := s.drainJobs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := getStats(t, ts); st.Canceled < 1 {
+		t.Errorf("canceled = %d, want >= 1", st.Canceled)
+	}
+}
+
+// TestShutdownCheckpointsMidStream: the drain checkpoints a partially
+// generated ensemble on the way down, and a mid-stream SSE client gets the
+// shutdown error event instead of a hang or a generic error.
+func TestShutdownCheckpointsMidStream(t *testing.T) {
+	base, cancelJobs := context.WithCancel(context.Background())
+	defer cancelJobs()
+	s, ts := newTestServer(t, serverOptions{base: base, jobs: 1, checkpointEvery: 1})
+
+	// Slow enough per replica that the drain lands mid-ensemble, fast
+	// enough that the first replicas finish promptly.
+	body := `{"config":{"NumPoPs":16,"Seed":43,"Optimizer":{"PopulationSize":16,"Generations":200}},"count":50}`
+	resc := make(chan string, 1)
+	go func() {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/generate?stream=sse", strings.NewReader(body))
+		if err != nil {
+			resc <- err.Error()
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			resc <- err.Error()
+			return
+		}
+		resc <- string(readAll(t, resp))
+	}()
+	// At least one replica checkpointed means the stream is mid-ensemble.
+	waitStats(t, ts, "first checkpoint", func(st statsResponse) bool { return st.CheckpointWrites >= 1 })
+	s.beginShutdown()
+	cancelJobs()
+	sse := <-resc
+	if !strings.Contains(sse, "event: error") || !strings.Contains(sse, "shutting down") {
+		t.Fatalf("SSE stream should end with the shutdown error event:\n%s", sse)
+	}
+	if err := s.drainJobs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The drain left a resumable checkpoint behind.
+	if st := s.store.Stats(); st.Partials < 1 {
+		t.Errorf("partials = %d after drain, want >= 1", st.Partials)
 	}
 }
 

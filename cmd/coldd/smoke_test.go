@@ -1,40 +1,120 @@
 package main
 
-// TestColddSmoke is the end-to-end smoke `make coldd-smoke` runs in CI: it
-// builds the real coldd binary, starts it on a free port with a fresh
-// cache, POSTs one tiny config twice, and asserts the second response was
-// served from the artifact store (cache-hit counter up, generation counter
-// still 1) with a byte-identical body. It then interrupts the daemon and
-// waits for a clean shutdown.
+// End-to-end smokes `make coldd-smoke` runs in CI, against the real built
+// binary:
+//
+// TestColddSmoke starts coldd on a free port with a fresh cache, POSTs one
+// tiny config twice, and asserts the second response was served from the
+// artifact store (cache-hit counter up, generation counter still 1) with a
+// byte-identical body. It then sends SIGTERM and asserts the same clean
+// drain SIGINT gets ("coldd: shut down" on stderr, exit 0).
+//
+// TestColddRestartSmoke is the crash-recovery leg: it SIGKILLs a daemon
+// mid-ensemble (after a checkpoint file appeared in the cache), restarts it
+// over the same cache directory, and asserts the re-request resumes from
+// the checkpoint (resume counters up in /v1/stats and /metrics) and
+// returns bytes identical to an uninterrupted in-process run.
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
+	"io/fs"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
+	cold "github.com/networksynth/cold"
 	"github.com/networksynth/cold/internal/telemetry"
 )
 
-func TestColddSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("builds and runs the real binary; skipped in -short")
-	}
-	dir := t.TempDir()
+// buildColdd compiles the real coldd binary into dir.
+func buildColdd(t *testing.T, dir string) string {
+	t.Helper()
 	bin := filepath.Join(dir, "coldd")
 	build := exec.Command("go", "build", "-o", bin, ".")
 	build.Stderr = os.Stderr
 	if err := build.Run(); err != nil {
 		t.Fatalf("building coldd: %v", err)
 	}
+	return bin
+}
 
-	cmd := exec.Command(bin,
+// lockedBuffer collects the daemon's stderr; exec.Cmd copies into it from
+// its own goroutine while the test reads it, so writes are locked.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// daemon is one running coldd process under test.
+type daemon struct {
+	cmd     *exec.Cmd
+	base    string // http://host:port
+	stderr  *lockedBuffer
+	exited  chan struct{}
+	exitErr error
+}
+
+// startColdd launches bin and waits for its listen banner ("coldd:
+// listening on http://ADDR ...") to learn the picked port.
+func startColdd(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{stderr: &lockedBuffer{}, exited: make(chan struct{})}
+	d.cmd = exec.Command(bin, args...)
+	d.cmd.Stderr = d.stderr // exec's copier ends before Wait returns: no lost output
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() { d.exitErr = d.cmd.Wait(); close(d.exited) }()
+	t.Cleanup(func() {
+		d.cmd.Process.Kill() //nolint:errcheck // no-op after clean shutdown
+		<-d.exited
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		out := d.stderr.String()
+		if i := strings.Index(out, "listening on http://"); i >= 0 {
+			rest := out[i+len("listening on http://"):]
+			d.base = "http://" + strings.Fields(rest)[0]
+			return d
+		}
+		select {
+		case <-d.exited:
+			t.Fatalf("daemon exited before listening: %v\n%s", d.exitErr, out)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address:\n%s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestColddSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := buildColdd(t, dir)
+	d := startColdd(t, bin,
 		"-addr", "localhost:0",
 		"-cache", filepath.Join(dir, "cache"),
 		"-jobs", "1",
@@ -42,43 +122,10 @@ func TestColddSmoke(t *testing.T) {
 		"-log-format", "json",
 		"-trace-dir", filepath.Join(dir, "traces"),
 	)
-	stderr, err := cmd.StderrPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	var exitErr error
-	exited := make(chan struct{})
-	go func() { exitErr = cmd.Wait(); close(exited) }()
-	defer func() {
-		cmd.Process.Kill() //nolint:errcheck // no-op after clean shutdown
-		<-exited
-	}()
-
-	// The daemon prints "coldd: listening on http://ADDR (cache DIR)".
-	sc := bufio.NewScanner(stderr)
-	var base string
-	for sc.Scan() {
-		line := sc.Text()
-		if i := strings.Index(line, "listening on http://"); i >= 0 {
-			rest := line[i+len("listening on http://"):]
-			base = "http://" + strings.Fields(rest)[0]
-			break
-		}
-	}
-	if base == "" {
-		t.Fatalf("daemon never reported its address: %v", sc.Err())
-	}
-	go func() { // drain the rest so the daemon never blocks on stderr
-		for sc.Scan() {
-		}
-	}()
 
 	body := `{"config":{"NumPoPs":8,"Seed":42,"Optimizer":{"PopulationSize":8,"Generations":4}},"count":2}`
 	postOnce := func(wantCache string) []byte {
-		resp, err := http.Post(base+"/v1/generate", "application/json", strings.NewReader(body))
+		resp, err := http.Post(d.base+"/v1/generate", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +148,7 @@ func TestColddSmoke(t *testing.T) {
 		t.Fatal("identical POSTs must return byte-identical bodies")
 	}
 
-	resp, err := http.Get(base + "/v1/stats")
+	resp, err := http.Get(d.base + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +164,7 @@ func TestColddSmoke(t *testing.T) {
 
 	// The Prometheus surface must scrape clean: valid exposition format
 	// with the core service and engine families present.
-	mresp, err := http.Get(base + "/metrics")
+	mresp, err := http.Get(d.base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +195,7 @@ func TestColddSmoke(t *testing.T) {
 	}
 
 	// /healthz reports liveness plus build identity.
-	hresp, err := http.Get(base + "/healthz")
+	hresp, err := http.Get(d.base + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,15 +211,154 @@ func TestColddSmoke(t *testing.T) {
 		t.Fatalf("healthz = %+v, want ok with a go version", health)
 	}
 
-	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+	// SIGTERM must drain exactly like SIGINT: clean exit, shutdown banner.
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
 	select {
-	case <-exited:
-		if exitErr != nil {
-			t.Fatalf("daemon exited uncleanly: %v", exitErr)
+	case <-d.exited:
+		if d.exitErr != nil {
+			t.Fatalf("daemon exited uncleanly on SIGTERM: %v\n%s", d.exitErr, d.stderr.String())
 		}
 	case <-time.After(10 * time.Second):
-		t.Fatal("daemon did not shut down on SIGINT")
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+	if out := d.stderr.String(); !strings.Contains(out, "coldd: shut down") {
+		t.Fatalf("missing shutdown banner on stderr:\n%s", out)
+	}
+}
+
+// hasCheckpoint reports whether the cache directory holds a partial
+// (".part-") checkpoint file.
+func hasCheckpoint(cache string) bool {
+	found := false
+	filepath.WalkDir(cache, func(path string, e fs.DirEntry, err error) error { //nolint:errcheck
+		if err == nil && !e.IsDir() && strings.Contains(e.Name(), ".part-") {
+			found = true
+		}
+		return nil
+	})
+	return found
+}
+
+func TestColddRestartSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := buildColdd(t, dir)
+	cache := filepath.Join(dir, "cache")
+	args := []string{
+		"-addr", "localhost:0",
+		"-cache", cache,
+		"-jobs", "1",
+		"-parallel", "1",
+		"-checkpoint-every", "1",
+		"-log-format", "json",
+	}
+	d1 := startColdd(t, bin, args...)
+
+	// Slow enough per replica (tens of ms) that the SIGKILL below lands
+	// mid-ensemble, triggered as soon as the first checkpoint file exists.
+	body := `{"config":{"NumPoPs":12,"Seed":77,"Optimizer":{"PopulationSize":24,"Generations":120}},"count":24}`
+	go func() {
+		resp, err := http.Post(d1.base+"/v1/generate", "application/json", strings.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(60 * time.Second)
+	for !hasCheckpoint(cache) {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint file appeared in %s\n%s", cache, d1.stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d1.cmd.Process.Kill(); err != nil { // SIGKILL: simulated crash
+		t.Fatal(err)
+	}
+	<-d1.exited
+
+	// Restart over the same cache; the same request must resume from the
+	// checkpoint and return exactly what an uninterrupted run produces.
+	d2 := startColdd(t, bin, args...)
+	resp, err := http.Post(d2.base+"/v1/generate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after restart: %s", resp.StatusCode, got.Bytes())
+	}
+
+	cfg := cold.Config{NumPoPs: 12, Seed: 77, Parallelism: 1,
+		Optimizer: cold.OptimizerSpec{PopulationSize: 24, Generations: 120}}
+	nets, err := cold.GenerateEnsemble(cfg, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, nw := range nets {
+		b, err := json.Marshal(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Write(b)
+		want.WriteByte('\n')
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("post-restart artifact differs from an uninterrupted run")
+	}
+
+	sresp, err := http.Get(d2.base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.CheckpointResumes < 1 || st.CheckpointResumedReplicas < 1 {
+		t.Fatalf("resumes=%d resumed_replicas=%d, want both >= 1 (stats %+v)",
+			st.CheckpointResumes, st.CheckpointResumedReplicas, st)
+	}
+	if st.Store.Partials != 0 {
+		t.Errorf("partials = %d after promotion, want 0", st.Store.Partials)
+	}
+
+	mresp, err := http.Get(d2.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	if _, err := metrics.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	resumed := ""
+	for _, line := range strings.Split(metrics.String(), "\n") {
+		if strings.HasPrefix(line, "cold_checkpoint_resumed_replicas_total ") {
+			resumed = strings.TrimPrefix(line, "cold_checkpoint_resumed_replicas_total ")
+		}
+	}
+	if resumed == "" || resumed == "0" {
+		t.Fatalf("cold_checkpoint_resumed_replicas_total = %q, want > 0", resumed)
+	}
+
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-d2.exited:
+		if d2.exitErr != nil {
+			t.Fatalf("restarted daemon exited uncleanly: %v\n%s", d2.exitErr, d2.stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("restarted daemon did not shut down on SIGTERM")
 	}
 }

@@ -363,18 +363,37 @@ func GenerateEnsembleContext(ctx context.Context, cfg Config, count int) ([]*Net
 // rather than by count. If emit returns an error, the run is canceled and
 // that error is returned verbatim (not wrapped).
 func GenerateEnsembleStream(ctx context.Context, cfg Config, count int, emit func(i int, nw *Network) error) error {
+	return GenerateEnsembleStreamFrom(ctx, cfg, count, 0, emit)
+}
+
+// GenerateEnsembleStreamFrom resumes a streaming ensemble run at replica
+// start: it generates and emits members start, start+1, …, count-1 with
+// the same contract as GenerateEnsembleStream. Because each member's seed
+// is derived by hashing (cfg.Seed, replica index) — never from preceding
+// replicas — the emitted suffix is bit-identical to the tail of a
+// from-zero run of the same Config: a consumer that already holds members
+// 0..start-1 (say, from a checkpoint of an interrupted run) ends up with
+// exactly the ensemble an uninterrupted run would have produced.
+// cfg.Progress still reports absolute positions: done ranges over
+// start+1..count with total == count. start must lie in [0, count];
+// start == count is a valid no-op.
+func GenerateEnsembleStreamFrom(ctx context.Context, cfg Config, count, start int, emit func(i int, nw *Network) error) error {
 	if count < 0 {
 		return fmt.Errorf("cold: negative ensemble size %d", count)
 	}
-	if count == 0 {
+	if start < 0 || start > count {
+		return fmt.Errorf("cold: resume index %d outside [0, %d]", start, count)
+	}
+	if count == 0 || start == count {
 		return nil
 	}
-	workers := min(cfg.parallelism(), count)
-	run := cfg.Telemetry.startRun(count, workers, cfg)
+	remaining := count - start
+	workers := min(cfg.parallelism(), remaining)
+	run := cfg.Telemetry.startRun(remaining, workers, cfg)
 	defer run.end()
 
 	if workers <= 1 {
-		for i := 0; i < count; i++ {
+		for i := start; i < count; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -406,11 +425,11 @@ func GenerateEnsembleStream(ctx context.Context, cfg Config, count int, emit fun
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		done     int
-		next     int // lowest replica index not yet emitted
 		emitErr  error
 		firstErr error
 		errIdx   int
 	)
+	next := start // lowest replica index not yet emitted
 	pending := make([]*Network, count)
 	jobs := make(chan int)
 	// sendStart[i] is written before replica i is sent on jobs, so the
@@ -446,7 +465,7 @@ func GenerateEnsembleStream(ctx context.Context, cfg Config, count int, emit fun
 				pending[i] = nw
 				done++
 				if cfg.Progress != nil {
-					cfg.Progress(done, count)
+					cfg.Progress(start+done, count)
 				}
 				// Flush the in-order prefix. Emit runs under mu, which is
 				// what serializes it with Progress and other emissions; a
@@ -465,7 +484,7 @@ func GenerateEnsembleStream(ctx context.Context, cfg Config, count int, emit fun
 		}(w)
 	}
 feed:
-	for i := 0; i < count; i++ {
+	for i := start; i < count; i++ {
 		if sendStart != nil {
 			sendStart[i] = time.Now()
 		}

@@ -336,6 +336,72 @@ func TestGenerateEnsembleStreamEmitError(t *testing.T) {
 	}
 }
 
+func TestGenerateEnsembleStreamFromSuffix(t *testing.T) {
+	// Resuming at replica `start` must emit exactly replicas start..count-1,
+	// in order, bit-identical to the corresponding suffix of a from-zero
+	// run — per-replica seeds depend only on (Seed, index), never on the
+	// replicas generated before them.
+	const count = 6
+	for _, par := range []int{1, 4} {
+		cfg := fastConfig(8, 41)
+		cfg.Parallelism = par
+		var full [][]byte
+		err := GenerateEnsembleStream(context.Background(), cfg, count, func(i int, nw *Network) error {
+			b, err := json.Marshal(nw)
+			if err != nil {
+				return err
+			}
+			full = append(full, b)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, start := range []int{0, 2, 5, 6} {
+			next := start
+			err := GenerateEnsembleStreamFrom(context.Background(), cfg, count, start, func(i int, nw *Network) error {
+				if i != next {
+					t.Fatalf("parallelism %d start %d: emitted index %d, want %d", par, start, i, next)
+				}
+				next++
+				b, err := json.Marshal(nw)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(b, full[i]) {
+					t.Errorf("parallelism %d start %d: replica %d differs from from-zero run", par, start, i)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if next != count {
+				t.Fatalf("parallelism %d start %d: emitted %d replicas, want %d", par, start, next-start, count-start)
+			}
+		}
+	}
+}
+
+func TestGenerateEnsembleStreamFromValidation(t *testing.T) {
+	cfg := fastConfig(8, 41)
+	emit := func(i int, nw *Network) error { return nil }
+	if err := GenerateEnsembleStreamFrom(context.Background(), cfg, 4, -1, emit); err == nil {
+		t.Error("negative start should error")
+	}
+	if err := GenerateEnsembleStreamFrom(context.Background(), cfg, 4, 5, emit); err == nil {
+		t.Error("start beyond count should error")
+	}
+	called := false
+	err := GenerateEnsembleStreamFrom(context.Background(), cfg, 4, 4, func(i int, nw *Network) error {
+		called = true
+		return nil
+	})
+	if err != nil || called {
+		t.Errorf("start == count must be a successful no-op (err %v, called %v)", err, called)
+	}
+}
+
 func TestCapacitiesCarryTraffic(t *testing.T) {
 	// Sum of capacity×length must equal the routed demand-weighted path
 	// lengths; indirectly verify capacities are positive and plausible.

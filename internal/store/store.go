@@ -12,14 +12,25 @@
 // place, so concurrent readers (and crashed writers) never observe a
 // partial artifact. Recency is persisted via file mtimes: a Get touches
 // its artifact, so the LRU survives restarts.
+//
+// Alongside final artifacts the store keeps checkpoints of line-oriented
+// artifacts still in flight, under <base>.part-<lines> keys (PutPartial /
+// NewestPartial / DeletePartials): at most one per base, written with the
+// same atomic rename, validated on read, and garbage-collected on open
+// once orphaned or superseded. The first operation after Open also sweeps
+// tmp-* debris older than an hour, so crashed writers cannot leak disk
+// past the LRU bound.
 package store
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,6 +39,40 @@ import (
 
 // ErrNotFound is returned by Get for keys with no stored artifact.
 var ErrNotFound = errors.New("store: artifact not found")
+
+// partialSep separates a checkpoint key's base from its line count. A
+// checkpoint ("partial") is the durable prefix of a line-oriented artifact
+// still being produced: <base>.part-<lines> holds exactly <lines> complete
+// lines of the artifact that will eventually be promoted to <base>.
+// cmd/coldd uses partials to resume interrupted ensemble generations.
+const partialSep = ".part-"
+
+// tempMaxAge gates the open-time sweep of leftover tmp-* files: a temp
+// file older than this cannot belong to a live writer (Puts hold the
+// store lock for their whole write) and is deleted as crash debris.
+// Younger ones are spared — another process sharing the directory may
+// still be renaming them into place.
+const tempMaxAge = time.Hour
+
+// PartialKey returns the checkpoint key holding the first lines lines of
+// the artifact that will be stored under base.
+func PartialKey(base string, lines int) string {
+	return base + partialSep + strconv.Itoa(lines)
+}
+
+// parsePartialKey splits a checkpoint key into its base key and line
+// count; ok is false for keys outside the partial namespace.
+func parsePartialKey(key string) (base string, lines int, ok bool) {
+	i := strings.LastIndex(key, partialSep)
+	if i <= 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(key[i+len(partialSep):])
+	if err != nil || n < 1 {
+		return "", 0, false
+	}
+	return key[:i], n, true
+}
 
 // Options bound the store.
 type Options struct {
@@ -52,9 +97,20 @@ type Stats struct {
 	Puts      uint64 `json:"puts"`
 	Evictions uint64 `json:"evictions"`
 	// Entries and Bytes describe current contents (0 until the index has
-	// been loaded by the first operation).
+	// been loaded by the first operation). Partial checkpoints count here
+	// too — they occupy the same disk the LRU bound caps.
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes"`
+	// Partials is the number of checkpoint (".part-") entries currently
+	// indexed; PartialsDropped counts checkpoints removed because they were
+	// superseded by a newer one, orphaned by their final artifact, invalid
+	// on read, or promoted (DeletePartials).
+	Partials        int    `json:"partials"`
+	PartialsDropped uint64 `json:"partials_dropped"`
+	// TempSwept counts stale tmp-* files (older than an hour — crashed
+	// writers' debris) deleted by the open-time sweep. Without the sweep
+	// they would silently consume the disk the LRU bound is meant to cap.
+	TempSwept uint64 `json:"temp_swept"`
 }
 
 type entry struct {
@@ -127,8 +183,11 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key)
 }
 
-// load builds the in-memory index from disk on the first operation.
-// Callers hold s.mu.
+// load builds the in-memory index from disk on the first operation. It
+// also sweeps crash debris: stale tmp-* files past tempMaxAge, and
+// checkpoint partials that are orphaned (their final artifact exists) or
+// superseded (a same-base partial with more lines exists). Callers hold
+// s.mu.
 func (s *Store) load() error {
 	if s.loaded {
 		return nil
@@ -147,9 +206,22 @@ func (s *Store) load() error {
 		}
 		for _, f := range files {
 			name := f.Name()
-			// Skip leftover temp files from crashed writers (and anything
-			// else that is not a valid bucketed key).
-			if f.IsDir() || !validKey(name) || name[:2] != b.Name() {
+			if f.IsDir() {
+				continue
+			}
+			// A crashed writer's temp file never got renamed into place;
+			// once it is too old to belong to a live writer, delete it —
+			// leaked temp files otherwise escape the LRU bound forever.
+			if strings.HasPrefix(name, "tmp-") {
+				if info, err := f.Info(); err == nil && time.Since(info.ModTime()) > tempMaxAge {
+					if os.Remove(filepath.Join(s.dir, b.Name(), name)) == nil {
+						s.stats.TempSwept++
+					}
+				}
+				continue
+			}
+			// Skip anything else that is not a valid bucketed key.
+			if !validKey(name) || name[:2] != b.Name() {
 				continue
 			}
 			info, err := f.Info()
@@ -158,6 +230,28 @@ func (s *Store) load() error {
 			}
 			s.entries[name] = &entry{size: info.Size(), atime: info.ModTime()}
 			s.size += info.Size()
+		}
+	}
+	// GC checkpoints: a partial whose final artifact exists is left over
+	// from a crash between promotion and cleanup, and only the newest
+	// checkpoint per base is worth resuming from.
+	newest := make(map[string]int)
+	for k := range s.entries {
+		if b, n, ok := parsePartialKey(k); ok && n > newest[b] {
+			newest[b] = n
+		}
+	}
+	for k, e := range s.entries {
+		b, n, ok := parsePartialKey(k)
+		if !ok {
+			continue
+		}
+		if _, final := s.entries[b]; final || n < newest[b] {
+			if err := os.Remove(s.path(k)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			s.dropLocked(k, e)
+			s.stats.PartialsDropped++
 		}
 	}
 	s.loaded = true
@@ -276,6 +370,103 @@ func (s *Store) Put(key string, data []byte) error {
 	return nil
 }
 
+// PutPartial checkpoints the first lines complete lines of the artifact
+// being produced for base: data is stored under PartialKey(base, lines)
+// with Put's usual temp+rename atomicity (a crash never leaves a torn
+// checkpoint), then older checkpoints of the same base are pruned — at
+// most one partial per base survives, the newest. data must hold exactly
+// lines newline-terminated lines; NewestPartial validates this on read
+// and discards checkpoints that do not.
+func (s *Store) PutPartial(base string, lines int, data []byte) error {
+	if lines < 1 {
+		return fmt.Errorf("store: checkpoint of %q with %d lines", base, lines)
+	}
+	if err := s.Put(PartialKey(base, lines), data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, e := range s.entries {
+		if b, n, ok := parsePartialKey(k); ok && b == base && n < lines {
+			if err := os.Remove(s.path(k)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			s.dropLocked(k, e)
+			s.stats.PartialsDropped++
+		}
+	}
+	return nil
+}
+
+// NewestPartial returns the newest valid checkpoint for base — the
+// indexed partial with the most lines whose content really holds that
+// many complete lines — or ErrNotFound when none exists. Invalid or
+// vanished partials are deleted on sight and the next-newest is tried, so
+// a corrupt checkpoint degrades resumption, never poisons it. Partial
+// probes are not lookups in the Stats hit/miss contract (that contract
+// covers Get and Has).
+func (s *Store) NewestPartial(base string) (data []byte, lines int, err error) {
+	if !validKey(base) {
+		return nil, 0, fmt.Errorf("store: invalid key %q", base)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.load(); err != nil {
+		return nil, 0, err
+	}
+	for {
+		var (
+			best      string
+			bestLines int
+			bestE     *entry
+		)
+		for k, e := range s.entries {
+			if b, n, ok := parsePartialKey(k); ok && b == base && n > bestLines {
+				best, bestLines, bestE = k, n, e
+			}
+		}
+		if best == "" {
+			return nil, 0, fmt.Errorf("store: %q: %w", base, ErrNotFound)
+		}
+		data, err := os.ReadFile(s.path(best))
+		if err == nil && validPartial(data, bestLines) {
+			return data, bestLines, nil
+		}
+		os.Remove(s.path(best)) //nolint:errcheck
+		s.dropLocked(best, bestE)
+		s.stats.PartialsDropped++
+	}
+}
+
+// validPartial reports whether data holds exactly lines complete
+// (newline-terminated) lines — the checkpoint's self-consistency check.
+func validPartial(data []byte, lines int) bool {
+	return len(data) > 0 && data[len(data)-1] == '\n' && bytes.Count(data, []byte{'\n'}) == lines
+}
+
+// DeletePartials removes every checkpoint of base; callers invoke it
+// after promoting the final artifact, when the partials are dead weight.
+func (s *Store) DeletePartials(base string) error {
+	if !validKey(base) {
+		return fmt.Errorf("store: invalid key %q", base)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.load(); err != nil {
+		return err
+	}
+	for k, e := range s.entries {
+		if b, _, ok := parsePartialKey(k); ok && b == base {
+			if err := os.Remove(s.path(k)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			s.dropLocked(k, e)
+			s.stats.PartialsDropped++
+		}
+	}
+	return nil
+}
+
 // dropLocked removes key from the in-memory index. Callers hold s.mu.
 func (s *Store) dropLocked(key string, e *entry) {
 	delete(s.entries, key)
@@ -318,5 +509,10 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.Entries = len(s.entries)
 	st.Bytes = s.size
+	for k := range s.entries {
+		if _, _, ok := parsePartialKey(k); ok {
+			st.Partials++
+		}
+	}
 	return st
 }

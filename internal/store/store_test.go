@@ -249,6 +249,143 @@ func TestConcurrentPutGet(t *testing.T) {
 	}
 }
 
+func TestPartialLifecycle(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "abc123-c8-a1"
+	if err := s.PutPartial(base, 0, []byte("x\n")); err == nil {
+		t.Error("PutPartial with 0 lines should error")
+	}
+	if err := s.PutPartial(base, 2, []byte("l0\nl1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutPartial(base, 4, []byte("l0\nl1\nl2\nl3\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The newer checkpoint pruned the older one: at most one per base.
+	if st := s.Stats(); st.Partials != 1 || st.PartialsDropped != 1 {
+		t.Fatalf("after supersede: %+v", st)
+	}
+	data, lines, err := s.NewestPartial(base)
+	if err != nil || lines != 4 || string(data) != "l0\nl1\nl2\nl3\n" {
+		t.Fatalf("NewestPartial = %q, %d, %v", data, lines, err)
+	}
+	// Partials of other bases are invisible.
+	if _, _, err := s.NewestPartial("otherbase"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("NewestPartial(otherbase) = %v, want ErrNotFound", err)
+	}
+	if err := s.DeletePartials(base); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.NewestPartial(base); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("NewestPartial after DeletePartials = %v, want ErrNotFound", err)
+	}
+	if st := s.Stats(); st.Partials != 0 {
+		t.Fatalf("partials survive DeletePartials: %+v", st)
+	}
+}
+
+func TestNewestPartialDiscardsInvalid(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "def456-c8-a1"
+	if err := s.PutPartial(base, 2, []byte("l0\nl1\n")); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt newer checkpoint: claims 4 lines, holds 3 and no trailing
+	// newline. Written via Put directly so PutPartial's pruning is bypassed.
+	if err := s.Put(PartialKey(base, 4), []byte("l0\nl1\nl2")); err != nil {
+		t.Fatal(err)
+	}
+	data, lines, err := s.NewestPartial(base)
+	if err != nil || lines != 2 || string(data) != "l0\nl1\n" {
+		t.Fatalf("NewestPartial should fall back past the corrupt checkpoint: %q, %d, %v", data, lines, err)
+	}
+	if st := s.Stats(); st.PartialsDropped != 1 || st.Partials != 1 {
+		t.Fatalf("corrupt checkpoint not dropped: %+v", st)
+	}
+}
+
+func TestOpenGCsOrphanedAndSupersededPartials(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base "aa...": final artifact exists alongside a leftover checkpoint
+	// (crash between promotion and cleanup). Base "bb...": two checkpoints
+	// (crash between a PutPartial's rename and its prune).
+	if err := s.Put("aaorphan-c4-a1", []byte("l0\nl1\nl2\nl3\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(PartialKey("aaorphan-c4-a1", 2), []byte("l0\nl1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(PartialKey("bbstale-c4-a1", 1), []byte("l0\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(PartialKey("bbstale-c4-a1", 3), []byte("l0\nl1\nl2\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.NewestPartial("aaorphan-c4-a1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("orphaned checkpoint survived open GC: %v", err)
+	}
+	if _, lines, err := s2.NewestPartial("bbstale-c4-a1"); err != nil || lines != 3 {
+		t.Fatalf("newest checkpoint should survive open GC: %d, %v", lines, err)
+	}
+	st := s2.Stats()
+	if st.Partials != 1 || st.PartialsDropped != 2 {
+		t.Fatalf("open GC stats: %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "aa", PartialKey("aaorphan-c4-a1", 2))); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphaned checkpoint file still on disk: %v", err)
+	}
+}
+
+func TestOpenSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "ab"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "ab", "tmp-stale1")
+	fresh := filepath.Join(dir, "ab", "tmp-fresh1")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Has("zzprobe"); err != nil { // forces the lazy load + sweep
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.TempSwept != 1 {
+		t.Fatalf("TempSwept = %d, want 1 (%+v)", st.TempSwept, st)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp file survived the sweep: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp file should be spared (a live writer may own it): %v", err)
+	}
+}
+
 func TestRestartPreservesLRUOrder(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir, Options{})

@@ -12,7 +12,12 @@ import "math"
 //	generation    — one per GA generation of every replica
 //	phase         — per-replica rollup of one GA phase (breed/evaluate)
 //	replica_end   — a replica finished (or failed: Err non-empty)
+//	checkpoint    — a streaming consumer durably persisted the run's
+//	                in-order prefix (service-side; emitted by cmd/coldd)
 //	run_end       — one per ensemble run, after all replicas
+//
+// The checkpoint event is additive within schema v2: readers tolerate
+// event names they do not know (coldstats counts and skips them).
 //
 // All durations are nanoseconds of monotonic wall time. Cost fields are
 // sanitized: ±Inf and NaN (possible only for degenerate configurations)
@@ -75,6 +80,18 @@ type ReplicaEnd struct {
 	Cost    float64 `json:"cost"`
 	Links   int     `json:"links"`
 	Err     string  `json:"err,omitempty"`
+}
+
+// Checkpoint is a service-side event: a streaming consumer (cmd/coldd's
+// job runner — the engine itself never checkpoints) durably persisted the
+// run's first Replicas artifact lines, Bytes total. ResumedFrom is the
+// replica index the surrounding run resumed generation at, 0 for a
+// from-scratch run.
+type Checkpoint struct {
+	RunID       string `json:"run_id,omitempty"`
+	Replicas    int    `json:"replicas"`
+	ResumedFrom int    `json:"resumed_from,omitempty"`
+	Bytes       int    `json:"bytes"`
 }
 
 // RunEnd summarizes an ensemble run. Utilization is Σ replica busy time

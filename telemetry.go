@@ -332,6 +332,19 @@ func (t *Telemetry) RegisterMetrics(reg *telemetry.Registry) {
 		})
 }
 
+// RecordCheckpoint emits a service-side "checkpoint" trace event: the
+// caller durably persisted the first replicas artifact lines (bytes in
+// total) of the run identified by runID. resumedFrom is the replica index
+// the run resumed generation at (0 for a from-scratch run). cmd/coldd
+// calls this each time it checkpoints a streaming ensemble job so the
+// job's trace records its crash-recovery points; the engine itself never
+// emits it. Nil-safe, and a no-op without a trace sink.
+func (t *Telemetry) RecordCheckpoint(runID string, replicas, resumedFrom, bytes int) {
+	t.record("checkpoint", telemetry.Checkpoint{
+		RunID: runID, Replicas: replicas, ResumedFrom: resumedFrom, Bytes: bytes,
+	})
+}
+
 // record emits one trace event when a sink is attached.
 func (t *Telemetry) record(name string, payload any) {
 	if t == nil || t.rec == nil {
